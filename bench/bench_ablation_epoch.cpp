@@ -1,0 +1,119 @@
+// Ablation: epoch length vs txMontage throughput (DESIGN.md E10).
+//
+// Shorter epochs tighten the durability bound (less work lost on crash)
+// but advance the epoch cell more often, aborting more straddling
+// transactions (epoch validation failures) and paying more write-back
+// batches. The paper uses 10-100 ms epochs inherited from nbMontage; this
+// sweep shows the trade-off curve. `validation_aborts` counts the
+// transactions sacrificed to epoch boundaries (plus ordinary read-set
+// invalidations, which are rare in this single-table write mix).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness.hpp"
+#include "montage/txmontage.hpp"
+
+namespace mb = medley::bench;
+using mb::Config;
+
+namespace {
+
+struct System {
+  std::unique_ptr<medley::montage::PRegion> region;
+  std::unique_ptr<medley::montage::EpochSys> es;
+  medley::TxManager mgr;
+  std::unique_ptr<medley::montage::TxMontageHashTable> map;
+
+  explicit System(std::uint64_t epoch_ms) {
+    std::remove("/tmp/medley_bench_epoch.img");
+    // Long epochs hold retired payloads in quarantine for ~2 epochs;
+    // with a write-heavy mix the slot demand scales with epoch length,
+    // so this sweep provisions generously (the file is sparse).
+    region = std::make_unique<medley::montage::PRegion>(
+        "/tmp/medley_bench_epoch.img",
+        Config::get().keyspace * 2 + (1u << 22));
+    es = std::make_unique<medley::montage::EpochSys>(region.get());
+    es->attach(&mgr);
+    map = std::make_unique<medley::montage::TxMontageHashTable>(
+        &mgr, es.get(), 1, Config::get().keyspace);
+    mb::preload(Config::get(), [&](std::uint64_t k) {
+      bool ok = false;
+      medley::run_tx(mgr, [&] { ok = map->insert(k, k); });
+      return ok;
+    });
+    es->start_advancer(epoch_ms);
+  }
+  ~System() {
+    es->stop_advancer();
+    map.reset();
+    es.reset();
+    region.reset();
+    std::remove("/tmp/medley_bench_epoch.img");
+  }
+};
+System* g_sys = nullptr;
+
+void bm_epoch(benchmark::State& state) {
+  const Config& cfg = Config::get();
+  medley::util::Xoshiro256 rng(mb::thread_seed(state));
+  if (state.thread_index() == 0) g_sys->mgr.reset_stats();
+  for (auto _ : state) {
+    const std::uint64_t n = mb::tx_size(rng);
+    for (;;) {
+      try {
+        g_sys->mgr.txBegin();
+        for (std::uint64_t i = 0; i < n; i++) {
+          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+          if (rng.next() & 1) {
+            g_sys->map->insert(k, k);
+          } else {
+            g_sys->map->remove(k);
+          }
+        }
+        g_sys->mgr.txEnd();
+        break;
+      } catch (const medley::TransactionAborted&) {
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    auto stats = g_sys->mgr.stats();
+    state.counters["validation_aborts"] =
+        static_cast<double>(stats.validation_aborts);
+    state.counters["conflict_aborts"] =
+        static_cast<double>(stats.conflict_aborts);
+  }
+}
+
+std::uint64_t g_epoch_ms = 10;
+
+void register_all() {
+  for (int ms : {1, 5, 10, 50, 100}) {
+    std::string name = "ablation_epoch/epoch_ms:" + std::to_string(ms);
+    auto* b = benchmark::RegisterBenchmark(name.c_str(), bm_epoch);
+    b->Arg(ms);
+    b->Setup([](const benchmark::State& s) {
+      g_epoch_ms = static_cast<std::uint64_t>(s.range(0));
+      g_sys = new System(g_epoch_ms);
+    });
+    b->Teardown([](const benchmark::State&) {
+      delete g_sys;
+      g_sys = nullptr;
+    });
+    b->UseRealTime()->MinTime(Config::get().min_time);
+    b->Threads(Config::get().threads.back());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

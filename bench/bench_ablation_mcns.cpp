@@ -1,0 +1,137 @@
+// Ablation (Sec. 6.3 claim): where Medley's ~2.2x marginal overhead goes.
+//
+// # PAPER: "the more-than-doubled cost of CASes (installing and
+// # uninstalling descriptors) accounts for about 2/3 of Medley's
+// # overhead."
+//
+// This bench isolates the ladder: a raw 64-bit CAS, a 128-bit CAS, a
+// CASObj plain CAS (value+counter), a non-transactional nbtcCAS, then a
+// full MCNS transaction of N critical CASes (install + status CAS +
+// validate + uninstall), and read-set validation cost as a function of
+// read-set size.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/medley.hpp"
+
+namespace {
+
+/// Exposes Composable's protected read-set registration for the bench.
+struct Harness : medley::Composable {
+  explicit Harness(medley::TxManager* m) : Composable(m) {}
+  using Composable::addToReadSet;
+};
+
+void bm_raw_cas64(benchmark::State& state) {
+  std::atomic<std::uint64_t> x{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    std::uint64_t e = v;
+    benchmark::DoNotOptimize(
+        x.compare_exchange_strong(e, v + 1, std::memory_order_acq_rel));
+    v++;
+  }
+}
+BENCHMARK(bm_raw_cas64);
+
+void bm_cas128(benchmark::State& state) {
+  medley::util::Atomic128 x;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    medley::util::U128 e{v, v};
+    benchmark::DoNotOptimize(x.compare_exchange(e, {v + 1, v + 1}));
+    v++;
+  }
+}
+BENCHMARK(bm_cas128);
+
+void bm_casobj_plain_cas(benchmark::State& state) {
+  medley::CASObj<std::uint64_t> x(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.CAS(v, v + 1));
+    v++;
+  }
+}
+BENCHMARK(bm_casobj_plain_cas);
+
+void bm_nbtc_cas_non_tx(benchmark::State& state) {
+  medley::CASObj<std::uint64_t> x(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.nbtcCAS(v, v + 1, true, true));
+    v++;
+  }
+}
+BENCHMARK(bm_nbtc_cas_non_tx);
+
+/// One MCNS transaction updating N cells (install N + setReady + commit
+/// CAS + uninstall N). Time is per whole transaction.
+void bm_mcns_commit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  medley::TxManager mgr;
+  std::vector<std::unique_ptr<medley::CASObj<std::uint64_t>>> cells;
+  for (std::size_t i = 0; i < n; i++) {
+    cells.push_back(std::make_unique<medley::CASObj<std::uint64_t>>(0));
+  }
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    mgr.txBegin();
+    for (std::size_t i = 0; i < n; i++) {
+      cells[i]->nbtcCAS(v, v + 1, true, true);
+    }
+    mgr.txEnd();
+    v++;
+  }
+  state.counters["cells"] = static_cast<double>(n);
+}
+BENCHMARK(bm_mcns_commit)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// Read-set validation cost: transaction tracking N reads, no writes.
+void bm_mcns_read_validate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  medley::TxManager mgr;
+  Harness h(&mgr);
+  std::vector<std::unique_ptr<medley::CASObj<std::uint64_t>>> cells;
+  for (std::size_t i = 0; i < n; i++) {
+    cells.push_back(std::make_unique<medley::CASObj<std::uint64_t>>(7));
+  }
+  for (auto _ : state) {
+    mgr.txBegin();
+    for (std::size_t i = 0; i < n; i++) {
+      auto val = cells[i]->nbtcLoad();
+      h.addToReadSet(cells[i].get(), val);
+    }
+    mgr.txEnd();
+  }
+  state.counters["reads"] = static_cast<double>(n);
+}
+BENCHMARK(bm_mcns_read_validate)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Contended install/uninstall: multiple threads MCNS-update disjoint
+/// pairs sharing one hot cell — the descriptor resolution path.
+void bm_mcns_contended(benchmark::State& state) {
+  static medley::TxManager mgr;
+  static medley::CASObj<std::uint64_t>* hot = nullptr;
+  if (state.thread_index() == 0) hot = new medley::CASObj<std::uint64_t>(0);
+  for (auto _ : state) {
+    try {
+      mgr.txBegin();
+      auto v = hot->nbtcLoad();
+      hot->nbtcCAS(v, v + 1, true, true);
+      mgr.txEnd();
+    } catch (const medley::TransactionAborted&) {
+    }
+  }
+  if (state.thread_index() == 0) {
+    delete hot;
+    hot = nullptr;
+  }
+}
+BENCHMARK(bm_mcns_contended)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

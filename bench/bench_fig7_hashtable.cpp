@@ -1,0 +1,177 @@
+// Figure 7 reproduction: throughput of transactional hash tables.
+//
+// # PAPER (Fig. 7, 2x Xeon Gold 6230 + Optane, 30 s trials):
+// #  - Medley outperforms transient OneFile by >10x beyond trivial thread
+// #    counts, and the gap widens with write fraction.
+// #  - OneFile is competitive at 1 thread (serialized design, no read
+// #    sets) but does not scale.
+// #  - txMontage tracks Medley closely on read-mostly mixes, and reaches
+// #    roughly half of Medley's write-only throughput at mid thread
+// #    counts; POneFile (eager per-store write-back) sits ~2 orders of
+// #    magnitude below txMontage.
+//
+// Systems: Medley (Michael hash table), txMontage (persistent hash
+// table), OneFile (sequential chained hash table under STM), POneFile
+// (same, eager persistence). Workload per harness.hpp (preload 0.5M/1M,
+// transactions of 1-10 get/insert/remove ops, ratios 0:1:1, 2:1:1,
+// 18:1:1).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ds/michael_hashtable.hpp"
+#include "fig_common.hpp"
+#include "montage/txmontage.hpp"
+#include "stm/onefile_map.hpp"
+
+namespace mb = medley::bench;
+using mb::Config;
+using mb::OpKind;
+using mb::Ratio;
+
+namespace {
+
+struct MedleyHashAdapter {
+  static const char* name() { return "Medley"; }
+
+  medley::TxManager mgr;
+  std::unique_ptr<medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>
+      map;
+
+  void setup(const Config& cfg) {
+    map = std::make_unique<
+        medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>(
+        &mgr, cfg.keyspace);  // paper: 1M buckets for 1M keys
+    mb::preload(cfg, [&](std::uint64_t k) { return map->insert(k, k); });
+  }
+
+  std::uint64_t tx(medley::util::Xoshiro256& rng, const Ratio& r,
+                   const Config& cfg) {
+    const std::uint64_t n = mb::tx_size(rng);
+    std::uint64_t aborts = 0;
+    for (;;) {
+      try {
+        mgr.txBegin();
+        for (std::uint64_t i = 0; i < n; i++) {
+          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+          switch (mb::pick_op(r, rng)) {
+            case OpKind::Get: map->get(k); break;
+            case OpKind::Insert: map->insert(k, k); break;
+            case OpKind::Remove: map->remove(k); break;
+          }
+        }
+        mgr.txEnd();
+        return aborts;
+      } catch (const medley::TransactionAborted&) {
+        aborts++;
+      }
+    }
+  }
+};
+
+struct TxMontageHashAdapter {
+  static const char* name() { return "txMontage"; }
+
+  std::string path;
+  std::unique_ptr<medley::montage::PRegion> region;
+  std::unique_ptr<medley::montage::EpochSys> es;
+  medley::TxManager mgr;
+  std::unique_ptr<medley::montage::TxMontageHashTable> map;
+
+  void setup(const Config& cfg) {
+    path = "/tmp/medley_bench_fig7.img";
+    std::remove(path.c_str());
+    region = std::make_unique<medley::montage::PRegion>(
+        path, cfg.keyspace * 2 + (1u << 16));
+    es = std::make_unique<medley::montage::EpochSys>(region.get());
+    es->attach(&mgr);
+    map = std::make_unique<medley::montage::TxMontageHashTable>(
+        &mgr, es.get(), /*sid=*/1, cfg.keyspace);
+    mb::preload(cfg, [&](std::uint64_t k) {
+      bool ok = false;
+      medley::run_tx(mgr, [&] { ok = map->insert(k, k); });
+      return ok;
+    });
+    es->start_advancer(10);  // paper-style epoch length
+  }
+
+  ~TxMontageHashAdapter() {
+    if (es) es->stop_advancer();
+    map.reset();
+    es.reset();
+    region.reset();
+    std::remove(path.c_str());
+  }
+
+  std::uint64_t tx(medley::util::Xoshiro256& rng, const Ratio& r,
+                   const Config& cfg) {
+    const std::uint64_t n = mb::tx_size(rng);
+    std::uint64_t aborts = 0;
+    for (;;) {
+      try {
+        mgr.txBegin();
+        for (std::uint64_t i = 0; i < n; i++) {
+          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+          switch (mb::pick_op(r, rng)) {
+            case OpKind::Get: map->get(k); break;
+            case OpKind::Insert: map->insert(k, k); break;
+            case OpKind::Remove: map->remove(k); break;
+          }
+        }
+        mgr.txEnd();
+        return aborts;
+      } catch (const medley::TransactionAborted&) {
+        aborts++;
+      }
+    }
+  }
+};
+
+template <bool kPersistent>
+struct OneFileHashAdapter {
+  static const char* name() { return kPersistent ? "POneFile" : "OneFile"; }
+
+  std::unique_ptr<medley::stm::OneFileSTM> stm;
+  std::unique_ptr<medley::stm::OFHashMap<std::uint64_t, std::uint64_t>> map;
+
+  void setup(const Config& cfg) {
+    stm = std::make_unique<medley::stm::OneFileSTM>(kPersistent);
+    map = std::make_unique<
+        medley::stm::OFHashMap<std::uint64_t, std::uint64_t>>(
+        stm.get(), cfg.keyspace);
+    mb::preload(cfg, [&](std::uint64_t k) { return map->insert(k, k); });
+  }
+
+  std::uint64_t tx(medley::util::Xoshiro256& rng, const Ratio& r,
+                   const Config& cfg) {
+    const std::uint64_t n = mb::tx_size(rng);
+    // OneFile retries internally; compose the whole transaction in one
+    // updateTx (readTx when it happens to be all-gets would be cheaper,
+    // but op kinds are chosen inside, matching the paper's dynamic mix).
+    stm->updateTx([&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        switch (mb::pick_op(r, rng)) {
+          case OpKind::Get: map->get(k); break;
+          case OpKind::Insert: map->insert(k, k); break;
+          case OpKind::Remove: map->remove(k); break;
+        }
+      }
+    });
+    return 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mb::register_system<MedleyHashAdapter>("fig7");
+  mb::register_system<TxMontageHashAdapter>("fig7");
+  mb::register_system<OneFileHashAdapter<false>>("fig7");
+  mb::register_system<OneFileHashAdapter<true>>("fig7");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+// Shared registration machinery for the figure benchmarks: each "system"
+// is an adapter with
+//    void setup(const Config&)            — construct + preload
+//    std::uint64_t tx(rng, ratio, cfg)    — run ONE committed transaction
+//                                           of 1-10 ops, returning the
+//                                           number of aborted attempts
+// and gets registered for every ratio x thread-count combination. The
+// google-benchmark row name is System/ratio; `items_per_second` is the
+// paper's y-axis (committed txn/s), `aborts_per_tx` the contention gauge.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "harness.hpp"
+
+namespace medley::bench {
+
+template <typename Adapter>
+class SystemHolder {
+ public:
+  static std::unique_ptr<Adapter>& get() {
+    static std::unique_ptr<Adapter> sys;
+    return sys;
+  }
+};
+
+template <typename Adapter>
+void run_fig_benchmark(benchmark::State& state) {
+  Adapter& sys = *SystemHolder<Adapter>::get();
+  const Ratio& r = ratios()[static_cast<std::size_t>(state.range(0))];
+  const Config& cfg = Config::get();
+  util::Xoshiro256 rng(thread_seed(state));
+  std::uint64_t aborts = 0;
+  for (auto _ : state) {
+    aborts += sys.tx(rng, r, cfg);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["aborts_per_tx"] = benchmark::Counter(
+      static_cast<double>(aborts), benchmark::Counter::kAvgIterations);
+}
+
+template <typename Adapter>
+void register_system(const char* figure) {
+  for (std::size_t ri = 0; ri < ratios().size(); ri++) {
+    std::string name = std::string(figure) + "/" + Adapter::name() +
+                       "/ratio:" + ratios()[ri].label;
+    auto* b = benchmark::RegisterBenchmark(name.c_str(),
+                                           run_fig_benchmark<Adapter>);
+    b->Arg(static_cast<int>(ri));
+    b->Setup([](const benchmark::State&) {
+      auto& slot = SystemHolder<Adapter>::get();
+      slot = std::make_unique<Adapter>();
+      slot->setup(Config::get());
+    });
+    b->Teardown(
+        [](const benchmark::State&) { SystemHolder<Adapter>::get().reset(); });
+    apply_thread_sweep(b);
+  }
+}
+
+}  // namespace medley::bench

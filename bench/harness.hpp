@@ -1,0 +1,98 @@
+#pragma once
+// Shared benchmark harness for the paper-reproduction binaries.
+//
+// The paper's microbenchmark (Sec. 6.1): preload 0.5 M key-value pairs
+// from a 1 M key space (8-byte keys and values); each thread then runs
+// transactions of 1-10 operations, each operation get/insert/remove on a
+// uniformly random key in a configured ratio (0:1:1, 2:1:1, 18:1:1);
+// report committed transactions per second.
+//
+// Machine note (EXPERIMENTS.md): this container exposes ONE hardware
+// thread, so the default ("CI") scale trims the preload and thread sweep
+// to keep total bench time sane while preserving the relative ordering of
+// systems at equal thread counts. Set MEDLEY_PAPER=1 for the paper-scale
+// parameters (0.5 M preload, threads up to 80, longer trials).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace medley::bench {
+
+struct Config {
+  std::size_t preload;
+  std::size_t keyspace;
+  double min_time;  // seconds per configuration
+  std::vector<int> threads;
+
+  static const Config& get() {
+    static Config cfg = [] {
+      const char* paper = std::getenv("MEDLEY_PAPER");
+      if (paper != nullptr && paper[0] == '1') {
+        return Config{500'000, 1'000'000, 3.0, {1, 2, 4, 8, 16, 40, 80}};
+      }
+      return Config{20'000, 100'000, 0.15, {1, 2, 4, 8}};
+    }();
+    return cfg;
+  }
+};
+
+/// get:insert:remove weights.
+struct Ratio {
+  int get_w, ins_w, rem_w;
+  const char* label;
+};
+
+inline const std::vector<Ratio>& ratios() {
+  static const std::vector<Ratio> r = {
+      {0, 1, 1, "0:1:1"}, {2, 1, 1, "2:1:1"}, {18, 1, 1, "18:1:1"}};
+  return r;
+}
+
+enum class OpKind { Get, Insert, Remove };
+
+inline OpKind pick_op(const Ratio& r, util::Xoshiro256& rng) {
+  const int total = r.get_w + r.ins_w + r.rem_w;
+  const auto x = static_cast<int>(rng.next_bounded(
+      static_cast<std::uint64_t>(total)));
+  if (x < r.get_w) return OpKind::Get;
+  if (x < r.get_w + r.ins_w) return OpKind::Insert;
+  return OpKind::Remove;
+}
+
+/// Transaction size: 1..10 operations (paper Sec. 6.1).
+inline std::uint64_t tx_size(util::Xoshiro256& rng) {
+  return 1 + rng.next_bounded(10);
+}
+
+/// Per-thread deterministic seed.
+inline std::uint64_t thread_seed(const benchmark::State& state) {
+  return 0x9e3779b97f4a7c15ULL ^
+         (static_cast<std::uint64_t>(state.thread_index()) + 1) *
+             0x2545f4914f6cdd1dULL;
+}
+
+/// Preload helper: inserts `cfg.preload` distinct keys drawn from the key
+/// space (the paper preloads 0.5 M of 1 M).
+template <typename InsertFn>
+void preload(const Config& cfg, InsertFn&& ins) {
+  util::Xoshiro256 rng(42);
+  std::size_t loaded = 0;
+  while (loaded < cfg.preload) {
+    if (ins(rng.next_bounded(cfg.keyspace) + 1)) loaded++;
+  }
+}
+
+/// Registers b for the configured thread counts with real-time measurement.
+inline void apply_thread_sweep(benchmark::internal::Benchmark* b) {
+  const Config& cfg = Config::get();
+  b->UseRealTime();
+  b->MinTime(cfg.min_time);
+  for (int t : cfg.threads) b->Threads(t);
+}
+
+}  // namespace medley::bench

@@ -1,0 +1,83 @@
+// Persistent key-value store on txMontage: ACID multi-key transactions
+// with buffered durability, a simulated crash, and recovery.
+//
+//   $ ./examples/persistent_kv [store-file]
+//
+// Phase 1 writes batches transactionally and syncs; then writes one more
+// batch WITHOUT syncing and "crashes" (drops all DRAM state). Phase 2
+// reopens the file, recovers, and shows that exactly the synced prefix
+// survived — each transaction whole or not at all.
+
+#include <cstdio>
+#include <string>
+
+#include "montage/txmontage.hpp"
+
+using medley::TxManager;
+using medley::montage::EpochSys;
+using medley::montage::PRegion;
+using medley::montage::TxMontageHashTable;
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/medley_persistent_kv.img";
+  std::remove(path.c_str());
+
+  constexpr std::uint64_t kBatch = 10;
+
+  {  // ---- phase 1: write, sync, write more, crash --------------------
+    PRegion region(path, 1u << 14);
+    TxManager mgr;
+    EpochSys es(&region);
+    es.attach(&mgr);
+    TxMontageHashTable kv(&mgr, &es, /*sid=*/1, /*buckets=*/256);
+
+    for (std::uint64_t batch = 0; batch < 3; batch++) {
+      medley::run_tx(mgr, [&] {
+        for (std::uint64_t i = 0; i < kBatch; i++) {
+          kv.insert(batch * kBatch + i, batch * 1000 + i);
+        }
+      });
+    }
+    es.sync();
+    std::printf("phase 1: wrote 3 synced batches (%lu keys)\n", 3 * kBatch);
+
+    medley::run_tx(mgr, [&] {
+      for (std::uint64_t i = 0; i < kBatch; i++) {
+        kv.insert(900 + i, 9999);
+      }
+    });
+    std::printf("phase 1: wrote 1 more batch, NOT synced; crashing now\n");
+    // Scope exit discards every DRAM structure: the "crash".
+  }
+
+  {  // ---- phase 2: recover ---------------------------------------------
+    PRegion region(path, 1u << 14);
+    TxManager mgr;
+    EpochSys es(&region);
+    auto recovered = es.recover();
+    es.attach(&mgr);
+    TxMontageHashTable kv(&mgr, &es, 1, 256);
+    kv.recover_from(recovered);
+
+    std::size_t synced = 0, unsynced = 0;
+    for (std::uint64_t k = 0; k < 3 * kBatch; k++) {
+      if (kv.contains(k)) synced++;
+    }
+    for (std::uint64_t i = 0; i < kBatch; i++) {
+      if (kv.contains(900 + i)) unsynced++;
+    }
+    std::printf("phase 2: recovered %zu/%lu synced keys, %zu/%lu unsynced\n",
+                synced, 3 * kBatch, unsynced, kBatch);
+    std::printf("durability boundary respected: %s\n",
+                (synced == 3 * kBatch && unsynced == 0) ? "yes" : "NO");
+
+    // The store keeps working after recovery.
+    medley::run_tx(mgr, [&] { kv.insert(12345, 678); });
+    es.sync();
+    std::printf("post-recovery write ok: kv[12345]=%lu\n", *kv.get(12345));
+
+    std::remove(path.c_str());
+    return (synced == 3 * kBatch && unsynced == 0) ? 0 : 1;
+  }
+}

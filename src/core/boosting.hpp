@@ -1,0 +1,182 @@
+#pragma once
+// Transactional boosting support (paper Sec. 3.1: "Composable also
+// provides an API for transactional boosting, which can be used to
+// incorporate lock-based operations into Medley transactions (at the
+// cost, of course, of nonblocking progress)").
+//
+// Following Herlihy & Koskinen (PPoPP '08): a *boosted* object is any
+// linearizable (here: lock-based) object whose operations commute when
+// they touch different abstract keys. Each boosted operation
+//   1. acquires the semantic lock for its key for the remainder of the
+//      transaction (two-phase; bounded acquisition with abort-on-timeout
+//      for deadlock avoidance),
+//   2. executes immediately against the underlying object, and
+//   3. registers its inverse, which runs (in reverse order) if the
+//      transaction aborts.
+// On commit the inverses are discarded and the locks released; on abort
+// the inverses roll the object back before the locks release.
+//
+// Boosted operations therefore compose freely with NBTC operations in one
+// Medley transaction — but any transaction that touches a boosted object
+// is blocking for the duration of its semantic locks.
+
+#include <functional>
+
+#include "core/composable.hpp"
+#include "util/align.hpp"
+#include "util/backoff.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::core {
+
+/// Striped table of semantic locks keyed by 64-bit abstract keys.
+/// Ownership is per *thread* (a transaction's locks are whatever its
+/// thread acquired and not yet released); acquisition is reentrant.
+class AbstractLockTable {
+ public:
+  explicit AbstractLockTable(std::size_t stripes = 1024)
+      : mask_(round_up_pow2(stripes) - 1),
+        locks_(new Stripe[mask_ + 1]) {}
+
+  /// Try to acquire the lock for `key` on behalf of the calling thread.
+  /// Spins a bounded time; false means the caller should abort (deadlock
+  /// avoidance — the classic boosting discipline).
+  bool try_acquire(std::uint64_t key, int max_spins = 4096) {
+    Stripe& s = stripe_of(key);
+    const std::uint64_t me =
+        static_cast<std::uint64_t>(util::ThreadRegistry::tid()) + 1;
+    std::uint64_t cur = s.owner.load(std::memory_order_acquire);
+    if (cur == me) {
+      s.depth++;
+      return true;
+    }
+    util::ExpBackoff backoff;
+    for (int i = 0; i < max_spins; i++) {
+      if (cur == 0 && s.owner.compare_exchange_weak(
+                          cur, me, std::memory_order_acq_rel)) {
+        s.depth = 1;
+        return true;
+      }
+      backoff();
+      cur = s.owner.load(std::memory_order_acquire);
+      if (cur == me) {  // acquired by an earlier op of this same tx
+        s.depth++;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Release one acquisition of `key` by the calling thread.
+  void release(std::uint64_t key) {
+    Stripe& s = stripe_of(key);
+    const std::uint64_t me =
+        static_cast<std::uint64_t>(util::ThreadRegistry::tid()) + 1;
+    if (s.owner.load(std::memory_order_relaxed) != me) return;  // defensive
+    if (--s.depth == 0) {
+      s.owner.store(0, std::memory_order_release);
+    }
+  }
+
+  bool held_by_me(std::uint64_t key) {
+    const std::uint64_t me =
+        static_cast<std::uint64_t>(util::ThreadRegistry::tid()) + 1;
+    return stripe_of(key).owner.load(std::memory_order_acquire) == me;
+  }
+
+ private:
+  struct alignas(util::kCacheLine) Stripe {
+    std::atomic<std::uint64_t> owner{0};  // tid+1, 0 = free
+    int depth = 0;                        // reentrancy count (owner-only)
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Stripe& stripe_of(std::uint64_t key) {
+    std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return locks_[h & mask_];
+  }
+
+  const std::size_t mask_;
+  std::unique_ptr<Stripe[]> locks_;
+};
+
+/// Base class for boosted (lock-based) objects participating in Medley
+/// transactions. Derive, then in each operation:
+///
+///   OpStarter op(mgr);
+///   boostLock(key);                 // may throw TransactionAborted
+///   ... mutate the underlying object under your own synchronization ...
+///   addInverse([=]{ ...undo... });  // for mutators
+///
+#ifdef __GNUC__
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wnon-virtual-dtor"
+#endif
+class BoostedComposable : public Composable {
+ public:
+  BoostedComposable(TxManager* manager, std::size_t stripes = 1024)
+      : Composable(manager), locks_(stripes) {}
+
+ protected:
+  /// Two-phase semantic lock on `key`. Inside a transaction the lock is
+  /// held until commit/abort; outside it is held until the returned guard
+  /// dies (end of the operation).
+  class BoostGuard {
+   public:
+    BoostGuard(AbstractLockTable* t, std::uint64_t k) : table_(t), key_(k) {}
+    BoostGuard(BoostGuard&& o) noexcept
+        : table_(o.table_), key_(o.key_) {
+      o.table_ = nullptr;
+    }
+    ~BoostGuard() {
+      if (table_ != nullptr) table_->release(key_);
+    }
+    BoostGuard(const BoostGuard&) = delete;
+
+   private:
+    AbstractLockTable* table_;
+    std::uint64_t key_;
+  };
+
+  BoostGuard boostLock(std::uint64_t key) {
+    TxManager::ThreadCtx* c = TxManager::active_ctx();
+    if (c == nullptr) {
+      // Standalone operation: block until acquired, release at op end.
+      while (!locks_.try_acquire(key)) {
+      }
+      return BoostGuard(&locks_, key);
+    }
+    if (!locks_.try_acquire(key)) {
+      // Bounded wait expired: deadlock avoidance says abort.
+      abortTx(AbortReason::Conflict);
+    }
+    // Held until the transaction resolves, whichever way.
+    AbstractLockTable* t = &locks_;
+    c->cleanups.push_back([t, key] { t->release(key); });
+    c->compensations.push_back([t, key] { t->release(key); });
+    return BoostGuard(nullptr, 0);  // inert: tx hooks own the release
+  }
+
+  /// Register the inverse of a just-executed boosted mutation; runs (in
+  /// reverse registration order) iff the transaction aborts. Outside a
+  /// transaction this is a no-op — the operation is already final.
+  void addInverse(std::function<void()> undo) {
+    if (TxManager::ThreadCtx* c = TxManager::active_ctx()) {
+      c->compensations.push_back(std::move(undo));
+    }
+  }
+
+ private:
+  AbstractLockTable locks_;
+};
+#ifdef __GNUC__
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace medley::core

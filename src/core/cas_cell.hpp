@@ -1,0 +1,38 @@
+#pragma once
+// CASCell: the untyped 128-bit {word, counter} unit behind CASObj<T>
+// (paper Fig. 4: `struct CASObj { atomic<uint128> val_cnt; }`).
+//
+// Invariant (Sec. 3.2): the counter is *odd* while the word holds a pointer
+// to a transaction descriptor (a critical CAS "installed" itself) and *even*
+// while the word holds a real value. Every install bumps the counter by 1,
+// every uninstall by 1, and every plain (non-speculative) CAS by 2 — so the
+// counter is strictly monotonic and a given {word, counter} pair identifies
+// one unique instant in the cell's history. That uniqueness is what makes
+// read-set validation and guarded uninstall CASes ABA-free.
+
+#include <cstdint>
+
+#include "util/atomic128.hpp"
+
+namespace medley::core {
+
+class Desc;  // defined in descriptor.hpp
+
+struct CASCell {
+  util::Atomic128 vc;  // {lo = value or Desc*, hi = counter}
+
+  CASCell() = default;
+  explicit CASCell(std::uint64_t initial) : vc(util::U128{initial, 0}) {}
+
+  static bool holds_desc(const util::U128& u) noexcept { return u.hi & 1; }
+
+  static Desc* desc_of(const util::U128& u) noexcept {
+    return reinterpret_cast<Desc*>(u.lo);
+  }
+
+  static std::uint64_t encode_desc(Desc* d) noexcept {
+    return reinterpret_cast<std::uint64_t>(d);
+  }
+};
+
+}  // namespace medley::core

@@ -1,0 +1,208 @@
+#pragma once
+// Transaction descriptor and the M-compare-N-swap (MCNS) finalization
+// protocol (paper Sec. 3.2, Figs. 4–6).
+//
+// One descriptor exists per thread per TxManager, reused across that
+// thread's transactions (incarnations are told apart by the serial number
+// in the status word). Helpers that encounter an installed descriptor drive
+// it to completion via tryFinalize(): abort it if still InPrep, help commit
+// if InProg, and in all cases uninstall it from the cell where it was found.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/cas_cell.hpp"
+#include "core/status_word.hpp"
+#include "core/word_sets.hpp"
+#include "util/align.hpp"
+
+namespace medley::core {
+
+class Desc {
+ public:
+  static constexpr int kReadCap = 4096;
+  static constexpr int kWriteCap = 1024;
+
+  explicit Desc(std::uint64_t tid) {
+    status_.store(status_word::make(tid, 0, TxStatus::Aborted),
+                  std::memory_order_relaxed);
+  }
+
+  Desc(const Desc&) = delete;
+  Desc& operator=(const Desc&) = delete;
+
+  std::uint64_t status() const {
+    return status_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t self_encoded() const {
+    return CASCell::encode_desc(const_cast<Desc*>(this));
+  }
+
+  // ---- owner-side lifecycle ------------------------------------------
+
+  /// txBegin: new incarnation, empty sets (paper Fig. 5 lines 1-4).
+  /// Returns the new status word.
+  std::uint64_t begin() {
+    reads_.reset();
+    writes_.reset();
+    const std::uint64_t d = status_.load(std::memory_order_relaxed);
+    const std::uint64_t nd = status_word::next_incarnation(d);
+    status_.store(nd, std::memory_order_release);
+    return nd;
+  }
+
+  /// txEnd step 1: InPrep -> InProg (fails iff a helper aborted us).
+  bool set_ready() {
+    std::uint64_t d = status_.load(std::memory_order_acquire);
+    return sts_cas(d, TxStatus::InPrep, TxStatus::InProg);
+  }
+
+  bool commit_cas(std::uint64_t d) {
+    return sts_cas(d, TxStatus::InProg, TxStatus::Committed);
+  }
+
+  /// Abort from whatever live state snapshot d carries (paper Fig. 6
+  /// line 6: `stsCAS(d, d & 1, Aborted)`).
+  bool abort_cas(std::uint64_t d) {
+    return sts_cas(d, static_cast<TxStatus>(d & 1), TxStatus::Aborted);
+  }
+
+  // ---- write set (owner) ----------------------------------------------
+
+  /// Record a critical CAS about to install. Returns the entry, or nullptr
+  /// on capacity exhaustion.
+  WriteEntry* record_write(CASCell* cell, std::uint64_t old_val,
+                           std::uint64_t cnt, std::uint64_t new_val,
+                           std::uint64_t d) {
+    WriteEntry* e = writes_.claim();
+    if (!e) return nullptr;
+    e->addr.store(cell, std::memory_order_relaxed);
+    e->old_val.store(old_val, std::memory_order_relaxed);
+    e->cnt.store(cnt, std::memory_order_relaxed);
+    e->new_val.store(new_val, std::memory_order_relaxed);
+    writes_.publish(e, status_word::incarnation(d));
+    return e;
+  }
+
+  /// The install CAS failed: retract the entry (paper Fig. 5 line 37).
+  void retract_write(WriteEntry* e) {
+    e->serial.store(0, std::memory_order_release);
+  }
+
+  /// Owner lookup: current speculative value for a cell we installed at.
+  /// Linear scan — write sets are small and this path only runs when an
+  /// operation re-encounters its own transaction's earlier write.
+  WriteEntry* find_write(CASCell* cell, std::uint64_t d) {
+    const std::uint64_t ser = status_word::incarnation(d);
+    const int n = writes_.count();
+    for (int i = n - 1; i >= 0; i--) {  // newest first: most likely match
+      WriteEntry& e = writes_.at(i);
+      if (e.addr.load(std::memory_order_relaxed) == cell &&
+          e.serial.load(std::memory_order_acquire) == ser) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  // ---- read set (owner) -----------------------------------------------
+
+  bool record_read(CASCell* cell, std::uint64_t val, std::uint64_t cnt,
+                   std::uint64_t d) {
+    ReadEntry* e = reads_.claim();
+    if (!e) return false;
+    e->addr.store(cell, std::memory_order_relaxed);
+    e->val.store(val, std::memory_order_relaxed);
+    e->cnt.store(cnt, std::memory_order_relaxed);
+    reads_.publish(e, status_word::incarnation(d));
+    return true;
+  }
+
+  // ---- MCNS finalization (owner or helper) ----------------------------
+
+  /// Every tracked read still holds (paper Fig. 6 lines 23-27). An entry is
+  /// also considered valid if the cell now holds *this* descriptor with
+  /// counter cnt+1: the transaction installed a write over its own earlier
+  /// read (get-then-put in Fig. 3), which does not invalidate the read.
+  bool validate_reads(std::uint64_t d) const {
+    const std::uint64_t ser = status_word::incarnation(d);
+    const std::uint64_t me = self_encoded();
+    const int n = reads_.count();
+    for (int i = 0; i < n; i++) {
+      ReadSnapshot r;
+      if (!snapshot(reads_.at(i), ser, r)) continue;  // stale/foreign entry
+      const util::U128 cur = r.addr->vc.load();
+      const bool unchanged = cur.lo == r.val && cur.hi == r.cnt;
+      const bool own_overwrite = cur.lo == me && cur.hi == r.cnt + 1;
+      if (!unchanged && !own_overwrite) return false;
+    }
+    return true;
+  }
+
+  /// Replace installed descriptor pointers with the outcome values (paper
+  /// Fig. 6 lines 28-35). Guarded per-entry: the 128-bit CAS fires only if
+  /// the cell still holds {this, cnt+1} for that entry's install, so stale
+  /// or duplicated uninstall attempts are harmless.
+  void uninstall(std::uint64_t d) {
+    const std::uint64_t ser = status_word::incarnation(d);
+    const bool committed = status_word::status(d) == TxStatus::Committed;
+    const std::uint64_t me = self_encoded();
+    const int n = writes_.count();
+    for (int i = 0; i < n; i++) {
+      WriteSnapshot w;
+      if (!snapshot(writes_.at(i), ser, w)) continue;
+      util::U128 expected{me, w.cnt + 1};
+      util::U128 desired{committed ? w.new_val : w.old_val, w.cnt + 2};
+      w.addr->vc.compare_exchange(expected, desired);
+    }
+  }
+
+  /// Get this descriptor out of the way of another thread (paper Fig. 6
+  /// lines 7-22): called by whoever found `var` (== {this, odd cnt})
+  /// installed in `cell`.
+  void try_finalize(CASCell* cell, util::U128 var) {
+    std::uint64_t d = status_.load(std::memory_order_acquire);
+    // If the descriptor is no longer installed where we saw it, d may
+    // describe a different incarnation; whoever removed it finished the job.
+    if (!(cell->vc.load() == var)) return;
+    if (status_word::status(d) == TxStatus::InPrep) {
+      abort_cas(d);
+      const std::uint64_t nd = status_.load(std::memory_order_acquire);
+      if (status_word::incarnation(nd) != status_word::incarnation(d))
+        return;  // owner finished and moved on; nothing left to do
+      d = nd;
+    }
+    if (status_word::status(d) == TxStatus::InProg) {
+      if (validate_reads(d)) {
+        commit_cas(d);
+      } else {
+        abort_cas(d);
+      }
+      const std::uint64_t nd = status_.load(std::memory_order_acquire);
+      if (status_word::incarnation(nd) != status_word::incarnation(d))
+        return;
+      d = nd;
+    }
+    uninstall(d);
+  }
+
+  int read_count() const { return reads_.count(); }
+  int write_count() const { return writes_.count(); }
+
+ private:
+  bool sts_cas(std::uint64_t d, TxStatus expect, TxStatus desired) {
+    std::uint64_t e = status_word::incarnation(d) |
+                      static_cast<std::uint64_t>(expect);
+    return status_.compare_exchange_strong(
+        e,
+        status_word::incarnation(d) | static_cast<std::uint64_t>(desired),
+        std::memory_order_acq_rel);
+  }
+
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> status_;
+  WordSet<ReadEntry, kReadCap> reads_;
+  WordSet<WriteEntry, kWriteCap> writes_;
+};
+
+}  // namespace medley::core

@@ -1,0 +1,55 @@
+#pragma once
+// Umbrella header: everything a Medley user (or a data structure being
+// NBTC-transformed) needs.
+//
+//   #include "core/medley.hpp"
+//
+//   medley::TxManager mgr;
+//   MHashTable ht1{&mgr}, ht2{&mgr};
+//   try {
+//     mgr.txBegin();
+//     auto v = ht1.get(a1);
+//     if (!v || *v < amount) mgr.txAbort();
+//     ht1.put(a1, *v - amount);
+//     ht2.put(a2, amount + ht2.get(a2).value_or(0));
+//     mgr.txEnd();
+//   } catch (const medley::TransactionAborted&) { /* retry or give up */ }
+
+#include "core/cas_obj.hpp"
+#include "core/composable.hpp"
+#include "core/descriptor.hpp"
+#include "core/tx_manager.hpp"
+
+namespace medley {
+
+using core::AbortReason;
+using core::CASObj;
+using core::Composable;
+using core::Desc;
+using core::OpStarter;
+using core::TransactionAborted;
+using core::TxManager;
+
+/// Convenience retry loop: run `body` as a transaction until it commits.
+/// `body` may call mgr.txAbort() to abandon one attempt (counts as retry
+/// only if `retry_on_user_abort`). Returns number of aborts encountered.
+template <typename F>
+std::uint64_t run_tx(TxManager& mgr, F&& body,
+                     bool retry_on_user_abort = false) {
+  std::uint64_t aborts = 0;
+  for (;;) {
+    try {
+      mgr.txBegin();
+      body();
+      mgr.txEnd();
+      return aborts;
+    } catch (const TransactionAborted& e) {
+      aborts++;
+      if (e.reason() == AbortReason::User && !retry_on_user_abort) {
+        return aborts;
+      }
+    }
+  }
+}
+
+}  // namespace medley

@@ -1,0 +1,52 @@
+#pragma once
+// Descriptor status word (paper Fig. 4):
+//   bits 63..50 : thread id        (14 bits)
+//   bits 49..2  : serial number    (48 bits)
+//   bits  1..0  : status           (InPrep | InProg | Committed | Aborted)
+//
+// A descriptor is reused across transactions of its owner thread; the
+// serial number distinguishes incarnations, so a helper holding a stale
+// status snapshot can detect that the transaction it meant to finalize is
+// long gone (its status CAS fails and the incarnation check mismatches).
+
+#include <cstdint>
+
+namespace medley::core {
+
+enum class TxStatus : std::uint64_t {
+  InPrep = 0,
+  InProg = 1,
+  Committed = 2,
+  Aborted = 3,
+};
+
+namespace status_word {
+
+inline constexpr std::uint64_t kStatusMask = 3;
+
+inline TxStatus status(std::uint64_t d) noexcept {
+  return static_cast<TxStatus>(d & kStatusMask);
+}
+
+/// tid and serial together: identifies one transaction incarnation.
+inline std::uint64_t incarnation(std::uint64_t d) noexcept {
+  return d & ~kStatusMask;
+}
+
+inline std::uint64_t serial(std::uint64_t d) noexcept {
+  return (d >> 2) & ((1ULL << 48) - 1);
+}
+
+inline std::uint64_t make(std::uint64_t tid, std::uint64_t serial,
+                          TxStatus s) noexcept {
+  return (tid << 50) | ((serial & ((1ULL << 48) - 1)) << 2) |
+         static_cast<std::uint64_t>(s);
+}
+
+/// Next incarnation: serial+1, status reset to InPrep (paper Fig. 5 line 3).
+inline std::uint64_t next_incarnation(std::uint64_t d) noexcept {
+  return incarnation(d) + 4;
+}
+
+}  // namespace status_word
+}  // namespace medley::core

@@ -1,0 +1,194 @@
+#include "core/tx_manager.hpp"
+
+#include <stdexcept>
+
+namespace medley::core {
+
+thread_local TxManager::ThreadCtx* TxManager::tl_active_ = nullptr;
+
+TxManager::TxManager() = default;
+TxManager::~TxManager() = default;
+
+TxManager::ThreadCtx* TxManager::my_ctx() {
+  const int tid = util::ThreadRegistry::tid();
+  if (!ctxs_[tid]) {
+    ctxs_[tid] = std::make_unique<ThreadCtx>();
+    descs_[tid] = std::make_unique<Desc>(static_cast<std::uint64_t>(tid));
+    ctxs_[tid]->mgr = this;
+    ctxs_[tid]->desc = descs_[tid].get();
+    int hw = ctx_high_water_.load(std::memory_order_relaxed);
+    while (hw < tid + 1 && !ctx_high_water_.compare_exchange_weak(
+                               hw, tid + 1, std::memory_order_acq_rel)) {
+    }
+  }
+  return ctxs_[tid].get();
+}
+
+Desc* TxManager::my_desc() { return my_ctx()->desc; }
+
+bool TxManager::in_tx() const {
+  ThreadCtx* c = tl_active_;
+  return c != nullptr && c->mgr == this;
+}
+
+void TxManager::txBegin() {
+  if (tl_active_ != nullptr) {
+    throw std::logic_error("Medley transactions do not nest");
+  }
+  ThreadCtx* c = my_ctx();
+  c->begin_status = c->desc->begin();
+  c->in_tx = true;
+  c->spec_interval = false;
+  c->cleanups.clear();
+  c->compensations.clear();
+  c->allocs.clear();
+  c->retires.clear();
+  c->ring_pos = 0;
+  for (auto& r : c->ring) r = ThreadCtx::RecentLoad{};
+  c->guard.emplace();  // pin reclamation for the whole transaction
+  tl_active_ = c;
+  if (begin_hook_) begin_hook_();
+}
+
+void TxManager::self_abort_check(ThreadCtx* c) {
+  const std::uint64_t d = c->desc->status();
+  if (status_word::incarnation(d) ==
+          status_word::incarnation(c->begin_status) &&
+      status_word::status(d) == TxStatus::Aborted) {
+    abort_internal(c, AbortReason::Conflict);
+  }
+}
+
+void TxManager::abort_internal(ThreadCtx* c, AbortReason r) {
+  Desc* D = c->desc;
+  std::uint64_t d = D->status();
+  D->abort_cas(d);  // no-op if a peer beat us to it
+  d = D->status();
+  D->uninstall(d);
+
+  // Compensations (transactional boosting: inverse operations of boosted
+  // lock-based calls, plus semantic-lock releases) run in reverse order,
+  // as plain code, once the speculative state is rolled back.
+  c->in_tx = false;
+  tl_active_ = nullptr;
+  for (std::size_t i = c->compensations.size(); i-- > 0;) {
+    c->compensations[i]();
+  }
+  c->compensations.clear();
+
+  // Speculative blocks never became visible (uninstall on abort restores
+  // the pre-transaction values), but a *stale helper* may still be walking
+  // our write set and touching cells inside them — retire via EBR rather
+  // than deleting in place.
+  auto& ebr = smr::EBR::instance();
+  for (const Block& b : c->allocs) ebr.retire(b.ptr, b.deleter);
+  c->allocs.clear();
+  c->retires.clear();
+  c->cleanups.clear();
+
+  c->in_tx = false;
+  tl_active_ = nullptr;
+  if (end_hook_) end_hook_(false);
+  c->guard.reset();
+
+  c->stats.aborts++;
+  switch (r) {
+    case AbortReason::Conflict: c->stats.conflict_aborts++; break;
+    case AbortReason::Validation: c->stats.validation_aborts++; break;
+    case AbortReason::Capacity: c->stats.capacity_aborts++; break;
+    case AbortReason::User: c->stats.user_aborts++; break;
+  }
+  throw TransactionAborted(r);
+}
+
+void TxManager::finish_commit(ThreadCtx* c) {
+  // Ownership of tNew'ed blocks passes to the structures; deferred
+  // retirements enter SMR now that the transaction's links are final.
+  auto& ebr = smr::EBR::instance();
+  for (const Block& b : c->retires) ebr.retire(b.ptr, b.deleter);
+  c->retires.clear();
+  c->allocs.clear();
+
+  // Cleanups (post-linearization work, e.g. physical unlinks and helping)
+  // run as plain non-transactional code — drop the tx context first but
+  // keep the EBR guard: cleanups traverse live nodes.
+  c->in_tx = false;
+  tl_active_ = nullptr;
+  if (end_hook_) end_hook_(true);
+  for (auto& f : c->cleanups) f();
+  c->cleanups.clear();
+  c->compensations.clear();  // commit: inverses never run
+
+  c->guard.reset();
+  c->stats.commits++;
+}
+
+void TxManager::txEnd() {
+  ThreadCtx* c = tl_active_;
+  if (c == nullptr || c->mgr != this) {
+    throw std::logic_error("txEnd outside a transaction");
+  }
+  Desc* D = c->desc;
+
+  if (!D->set_ready()) {
+    abort_internal(c, AbortReason::Conflict);  // a peer aborted us in InPrep
+  }
+
+  std::uint64_t d = D->status();
+  const bool valid = D->validate_reads(d);
+  if (!valid) {
+    D->abort_cas(d);
+  } else if (status_word::status(d) == TxStatus::InProg) {
+    D->commit_cas(d);
+  }
+
+  d = D->status();  // helpers may have finalized us concurrently
+  if (status_word::status(d) == TxStatus::Committed) {
+    D->uninstall(d);
+    finish_commit(c);
+  } else {
+    abort_internal(
+        c, valid ? AbortReason::Conflict : AbortReason::Validation);
+  }
+}
+
+void TxManager::txAbort() {
+  ThreadCtx* c = tl_active_;
+  if (c == nullptr || c->mgr != this) {
+    throw std::logic_error("txAbort outside a transaction");
+  }
+  abort_internal(c, AbortReason::User);
+}
+
+void TxManager::validateReads() {
+  ThreadCtx* c = tl_active_;
+  if (c == nullptr || c->mgr != this) return;  // outside tx: nothing tracked
+  if (!c->desc->validate_reads(c->desc->status())) {
+    abort_internal(c, AbortReason::Validation);
+  }
+}
+
+TxManager::Stats TxManager::stats() const {
+  Stats agg;
+  const int n = ctx_high_water_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; i++) {
+    if (!ctxs_[i]) continue;
+    const Stats& s = ctxs_[i]->stats;
+    agg.commits += s.commits;
+    agg.aborts += s.aborts;
+    agg.conflict_aborts += s.conflict_aborts;
+    agg.validation_aborts += s.validation_aborts;
+    agg.capacity_aborts += s.capacity_aborts;
+    agg.user_aborts += s.user_aborts;
+  }
+  return agg;
+}
+
+void TxManager::reset_stats() {
+  const int n = ctx_high_water_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; i++) {
+    if (ctxs_[i]) ctxs_[i]->stats = Stats{};
+  }
+}
+
+}  // namespace medley::core

@@ -1,0 +1,210 @@
+#pragma once
+// TxManager: transaction lifecycle for Medley (paper Fig. 1, Figs. 5-6).
+//
+// A TxManager instance is shared by all Composable structures that may
+// participate in the same transactions. Each registered thread owns one
+// reusable descriptor plus a ThreadCtx holding the per-transaction ephemera:
+// the speculation-interval flag, the recent-critical-load ring (which lets
+// addToReadSet recover the {value, counter} pair of a linearizing load
+// without the data structure reasoning about counters), deferred cleanups,
+// speculative allocations, and deferred retirements.
+//
+// Life cycle of one transaction (owner thread):
+//   txBegin(): new descriptor incarnation, EBR guard pinned, ctx armed.
+//   ...operations execute; critical CASes install the descriptor...
+//   txEnd():  InPrep->InProg, validate reads, commit or abort, uninstall,
+//             then run cleanups (commit) or retire speculative blocks
+//             (abort). Aborts surface as the TransactionAborted exception.
+//
+// Helpers finalize foreign descriptors via Desc::try_finalize; the manager
+// is never involved on the helper path.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/descriptor.hpp"
+#include "smr/ebr.hpp"
+#include "util/align.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::core {
+
+enum class AbortReason : std::uint8_t {
+  Conflict,    // a peer aborted us (eager contention management)
+  Validation,  // commit-time read validation failed
+  Capacity,    // read/write set overflow
+  User,        // explicit txAbort()
+};
+
+class TransactionAborted : public std::exception {
+ public:
+  explicit TransactionAborted(AbortReason r) : reason_(r) {}
+  AbortReason reason() const noexcept { return reason_; }
+  const char* what() const noexcept override {
+    switch (reason_) {
+      case AbortReason::Conflict: return "transaction aborted: conflict";
+      case AbortReason::Validation: return "transaction aborted: validation";
+      case AbortReason::Capacity: return "transaction aborted: capacity";
+      case AbortReason::User: return "transaction aborted: user";
+    }
+    return "transaction aborted";
+  }
+
+ private:
+  AbortReason reason_;
+};
+
+class TxManager {
+ public:
+  struct Stats {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t conflict_aborts = 0;
+    std::uint64_t validation_aborts = 0;
+    std::uint64_t capacity_aborts = 0;
+    std::uint64_t user_aborts = 0;
+  };
+
+  /// One deferred block: pointer plus type-erased deleter.
+  struct Block {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  /// Per-thread transaction context. Public because CASObj<T> (a template)
+  /// manipulates it inline; treat as library-internal.
+  struct ThreadCtx {
+    TxManager* mgr = nullptr;
+    Desc* desc = nullptr;
+    std::uint64_t begin_status = 0;  // incarnation at txBegin
+    bool in_tx = false;
+    bool spec_interval = false;
+
+    // Ring of recent critical loads: cell, raw {lo,hi} observed, and the
+    // value the load returned (differs from lo when the load hit our own
+    // installed descriptor and returned the speculated value).
+    static constexpr int kRingSize = 16;
+    struct RecentLoad {
+      CASCell* cell = nullptr;
+      std::uint64_t raw_lo = 0, raw_hi = 0, returned = 0;
+    };
+    RecentLoad ring[kRingSize];
+    int ring_pos = 0;
+
+    std::vector<std::function<void()>> cleanups;
+    std::vector<std::function<void()>> compensations;  // run (reversed) on abort
+    std::vector<Block> allocs;   // tNew'ed; deleted (via EBR) on abort
+    std::vector<Block> retires;  // tRetire'd; passed to EBR on commit
+    std::optional<smr::EBR::Guard> guard;
+
+    Stats stats;
+
+    void note_load(CASCell* cell, std::uint64_t raw_lo, std::uint64_t raw_hi,
+                   std::uint64_t returned) {
+      ring[ring_pos] = {cell, raw_lo, raw_hi, returned};
+      ring_pos = (ring_pos + 1) % kRingSize;
+    }
+
+    const RecentLoad* find_recent(CASCell* cell, std::uint64_t returned) const {
+      for (int i = 0; i < kRingSize; i++) {
+        int idx = (ring_pos - 1 - i + 2 * kRingSize) % kRingSize;
+        if (ring[idx].cell == cell && ring[idx].returned == returned)
+          return &ring[idx];
+      }
+      return nullptr;
+    }
+  };
+
+  TxManager();
+  ~TxManager();
+  TxManager(const TxManager&) = delete;
+  TxManager& operator=(const TxManager&) = delete;
+
+  /// Start a transaction on the calling thread. No nesting.
+  void txBegin();
+
+  /// Attempt to commit; throws TransactionAborted on failure.
+  void txEnd();
+
+  /// Explicitly abort; always throws TransactionAborted(User).
+  void txAbort();
+
+  /// Optional opacity support (paper Sec. 3.1): throw now if any tracked
+  /// read no longer holds, instead of waiting for commit.
+  void validateReads();
+
+  /// Is the calling thread inside a transaction of this manager?
+  bool in_tx() const;
+
+  /// The calling thread's context if it is inside *any* manager's
+  /// transaction, else nullptr. Used by CASObj to decide instrumentation.
+  static ThreadCtx* active_ctx() { return tl_active_; }
+
+  /// Hook invoked at the end of every txBegin (used by txMontage to
+  /// announce the epoch and fold it into the read set).
+  void set_begin_hook(std::function<void()> hook) {
+    begin_hook_ = std::move(hook);
+  }
+
+  /// Hook invoked exactly once when a transaction finishes, with the
+  /// outcome (true = committed). txMontage uses it to finalize payloads
+  /// (register for epoch-batched persistence on commit, eagerly invalidate
+  /// on abort) and to release the epoch announcement.
+  void set_end_hook(std::function<void(bool committed)> hook) {
+    end_hook_ = std::move(hook);
+  }
+
+  /// Aggregated statistics across all threads that used this manager.
+  Stats stats() const;
+  void reset_stats();
+
+  /// This thread's descriptor (tests & internal use).
+  Desc* my_desc();
+
+ private:
+  friend class Composable;
+  template <typename T>
+  friend class CASObj;
+  friend struct OpStarter;
+
+  ThreadCtx* my_ctx();
+
+  /// Throw if a peer already aborted the running transaction (cheap
+  /// self-status check; keeps doomed transactions from wasting work).
+  void self_abort_check(ThreadCtx* c);
+
+  [[noreturn]] void abort_internal(ThreadCtx* c, AbortReason r);
+  void finish_commit(ThreadCtx* c);
+
+  std::unique_ptr<ThreadCtx> ctxs_[util::ThreadRegistry::kMaxThreads];
+  std::unique_ptr<Desc> descs_[util::ThreadRegistry::kMaxThreads];
+  std::atomic<int> ctx_high_water_{0};
+  std::function<void()> begin_hook_;
+  std::function<void(bool)> end_hook_;
+
+  static thread_local ThreadCtx* tl_active_;
+};
+
+/// RAII marker at the top of every data structure operation (paper Fig. 1).
+/// Pins the EBR epoch for the operation, resets the speculation interval,
+/// and surfaces a pending forced abort early. `guard` is declared first so
+/// the epoch pin is published before any shared loads in the ctor body.
+struct OpStarter {
+  smr::EBR::Guard guard;
+  TxManager::ThreadCtx* ctx;
+
+  explicit OpStarter(TxManager* mgr) {
+    ctx = TxManager::active_ctx();
+    if (ctx != nullptr) {
+      ctx->spec_interval = false;
+      mgr->self_abort_check(ctx);
+    }
+  }
+};
+
+}  // namespace medley::core

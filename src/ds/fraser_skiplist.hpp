@@ -1,0 +1,267 @@
+#pragma once
+// NBTC transform of Fraser's CAS-based lock-free skiplist (Fraser '03,
+// ch. 4; the Herlihy–Shavit presentation). Map semantics, up to 20 levels
+// (the paper's configuration).
+//
+// Linearization points:
+//   insert : the CAS linking the new node at level 0 (lin = pub);
+//            upper-level linking is post-linearization cleanup.
+//   remove : the CAS marking the victim's level-0 next pointer (lin = pub);
+//            upper-level marks are benign pre-linearization CASes (they
+//            cannot make the remove take effect and merely demote the
+//            node), and physical unlinking + retirement is cleanup.
+//   get    : the load of curr->next[0] observing curr unmarked (found), or
+//            of preds[0]->next[0] observing the gap (absent).
+//
+// Retirement policy: only the remover retires a node, in its cleanup,
+// after one complete search(k) call has ensured the node is unlinked from
+// every level (helping searches unlink but never retire). This differs
+// from the single-level list, where the successful unlinker retires.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/medley.hpp"
+#include "ds/marked_ptr.hpp"
+#include "util/rng.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::ds {
+
+template <typename K, typename V, int kMaxLevel = 20>
+class FraserSkiplist : public core::Composable {
+ public:
+  explicit FraserSkiplist(core::TxManager* manager)
+      : Composable(manager), head_(new Node(K{}, V{}, kMaxLevel)) {}
+
+  ~FraserSkiplist() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = unmark(n->next[0].load());
+      delete n;
+      n = nx;
+    }
+  }
+
+  std::optional<V> get(const K& k) {
+    OpStarter op(mgr);
+    Pos pos;
+    std::optional<V> res;
+    if (find(pos, k)) {
+      res = pos.succs[0]->val;
+      addToReadSet(&pos.succs[0]->next[0], pos.succ0_next);
+    } else {
+      addToReadSet(&pos.preds[0]->next[0], pos.succs[0]);
+    }
+    return res;
+  }
+
+  bool contains(const K& k) { return get(k).has_value(); }
+
+  bool insert(const K& k, const V& v) {
+    OpStarter op(mgr);
+    Pos pos;
+    Node* node = nullptr;
+    for (;;) {
+      if (find(pos, k)) {
+        if (node != nullptr) tDelete(node);
+        addToReadSet(&pos.succs[0]->next[0], pos.succ0_next);
+        return false;
+      }
+      if (node == nullptr) node = tNew<Node>(k, v, random_level());
+      for (int i = 0; i < node->level; i++) node->next[i].store(pos.succs[i]);
+      if (pos.preds[0]->next[0].nbtcCAS(pos.succs[0], node, /*lin=*/true,
+                                        /*pub=*/true)) {
+        if (node->level > 1) {
+          addToCleanups([this, node, k] { link_upper(node, k); });
+        }
+        return true;
+      }
+    }
+  }
+
+  std::optional<V> remove(const K& k) {
+    OpStarter op(mgr);
+    Pos pos;
+    for (;;) {
+      if (!find(pos, k)) {
+        addToReadSet(&pos.preds[0]->next[0], pos.succs[0]);
+        return std::nullopt;
+      }
+      Node* victim = pos.succs[0];
+      // Demote: mark every upper level, top down (benign helping CASes).
+      for (int lvl = victim->level - 1; lvl >= 1; lvl--) {
+        Node* nx = victim->next[lvl].nbtcLoad();
+        while (!is_marked(nx)) {
+          victim->next[lvl].nbtcCAS(nx, mark(nx), false, false);
+          nx = victim->next[lvl].nbtcLoad();
+        }
+      }
+      // Linearize: mark level 0.
+      Node* nx0 = victim->next[0].nbtcLoad();
+      while (!is_marked(nx0)) {
+        if (victim->next[0].nbtcCAS(nx0, mark(nx0), /*lin=*/true,
+                                    /*pub=*/true)) {
+          V res = victim->val;
+          addToCleanups([this, victim, k] {
+            Pos p;
+            find(p, k);  // one full search unlinks victim everywhere
+            tRetire(victim);
+          });
+          return res;
+        }
+        nx0 = victim->next[0].nbtcLoad();
+      }
+      // Lost the race to another remover: re-evaluate from scratch.
+    }
+  }
+
+  /// Quiescent scans (tests/diagnostics).
+  std::size_t size_slow() {
+    OpStarter op(mgr);
+    std::size_t n = 0;
+    for (Node* cur = unmark(head_->next[0].load()); cur != nullptr;
+         cur = unmark(cur->next[0].load())) {
+      if (!is_marked(cur->next[0].load())) n++;
+    }
+    return n;
+  }
+
+  std::vector<K> keys_slow() {
+    OpStarter op(mgr);
+    std::vector<K> out;
+    for (Node* cur = unmark(head_->next[0].load()); cur != nullptr;
+         cur = unmark(cur->next[0].load())) {
+      if (!is_marked(cur->next[0].load())) out.push_back(cur->key);
+    }
+    return out;
+  }
+
+  /// Structural audit for property tests: level-0 keys strictly ascending,
+  /// and every node linked at level i>0 is also reachable at level 0.
+  bool invariants_hold_slow() {
+    OpStarter op(mgr);
+    // Strict ascent at level 0.
+    Node* prev = nullptr;
+    for (Node* cur = unmark(head_->next[0].load()); cur != nullptr;
+         cur = unmark(cur->next[0].load())) {
+      if (prev != nullptr && !(prev->key < cur->key)) return false;
+      prev = cur;
+    }
+    // Upper-level sortedness.
+    for (int lvl = 1; lvl < kMaxLevel; lvl++) {
+      Node* p = nullptr;
+      for (Node* cur = unmark(head_->next[lvl].load()); cur != nullptr;
+           cur = unmark(cur->next[lvl].load())) {
+        if (p != nullptr && !(p->key < cur->key)) return false;
+        p = cur;
+      }
+    }
+    return true;
+  }
+
+ private:
+  template <typename T>
+  using CASObj = core::CASObj<T>;
+
+  struct Node {
+    K key;
+    V val;
+    int level;
+    std::unique_ptr<CASObj<Node*>[]> next;
+    Node(const K& k, const V& v, int lvl)
+        : key(k), val(v), level(lvl), next(new CASObj<Node*>[lvl]) {}
+  };
+
+  struct Pos {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    Node* succ0_next = nullptr;  // raw (unmarked) next of succs[0] if found
+  };
+
+  static int random_level() {
+    thread_local util::Xoshiro256 rng(
+        0x9e3779b97f4a7c15ULL ^
+        static_cast<std::uint64_t>(util::ThreadRegistry::tid() + 1) *
+            0x2545f4914f6cdd1dULL);
+    int lvl = 1;
+    while (lvl < kMaxLevel && (rng.next() & 1)) lvl++;
+    return lvl;
+  }
+
+  /// Fraser's search: compute preds/succs at every level for key k,
+  /// unlinking marked nodes encountered on the path (restarting from the
+  /// top when an unlink CAS fails). Returns true iff succs[0] holds k.
+  bool find(Pos& pos, const K& k) {
+  retry:
+    Node* pred = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; lvl--) {
+      Node* curr = pred->next[lvl].nbtcLoad();
+      // A marked value here means pred itself was deleted while we were
+      // descending from the level above: restart from the head.
+      if (is_marked(curr)) goto retry;
+      for (;;) {
+        if (curr == nullptr) break;
+        Node* raw = curr->next[lvl].nbtcLoad();
+        if (is_marked(raw)) {
+          // curr is logically deleted at this level: help unlink. No
+          // retirement here — the remover retires after its own search.
+          if (!pred->next[lvl].nbtcCAS(curr, unmark(raw), false, false)) {
+            goto retry;
+          }
+          curr = unmark(raw);
+          continue;
+        }
+        if (curr->key < k) {
+          pred = curr;
+          curr = raw;
+          continue;
+        }
+        if (lvl == 0) pos.succ0_next = raw;
+        break;
+      }
+      pos.preds[lvl] = pred;
+      pos.succs[lvl] = curr;
+    }
+    return pos.succs[0] != nullptr && pos.succs[0]->key == k;
+  }
+
+  /// Post-linearization cleanup of insert: link `node` at levels 1..h-1.
+  /// Abandons a level (and the rest) as soon as the node is found marked.
+  void link_upper(Node* node, const K& k) {
+    bool abandoned = false;
+    for (int lvl = 1; lvl < node->level && !abandoned; lvl++) {
+      for (;;) {
+        Pos pos;
+        find(pos, k);
+        Node* cur = node->next[lvl].load();
+        if (is_marked(cur) || pos.succs[0] != node) {
+          abandoned = true;  // node being/been removed: stop helping it up
+          break;
+        }
+        if (cur != pos.succs[lvl] &&
+            !node->next[lvl].CAS(cur, pos.succs[lvl])) {
+          abandoned = true;  // concurrently marked
+          break;
+        }
+        if (pos.preds[lvl]->next[lvl].CAS(pos.succs[lvl], node)) break;
+        // Predecessor moved: re-find and retry this level.
+      }
+    }
+    // Fraser's closing check: a concurrent remove may have finished its
+    // unlinking search *before* one of our tower links landed, leaving the
+    // (already retired) node reachable at that level. If the node is
+    // marked, run one more search — it unlinks whatever we linked, and it
+    // happens before our EBR guard releases, i.e. before the node can be
+    // freed.
+    if (is_marked(node->next[0].load())) {
+      Pos pos;
+      find(pos, k);
+    }
+  }
+
+  Node* head_;
+};
+
+}  // namespace medley::ds

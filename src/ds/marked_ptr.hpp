@@ -1,0 +1,34 @@
+#pragma once
+// Pointer mark-bit helpers shared by the list-based structures.
+//
+// Lock-free lists/skiplists steal the low bit(s) of a node's `next` pointer
+// to mark the node as logically deleted (Harris/Michael) or to flag/tag
+// edges (Natarajan & Mittal). Nodes are new-allocated and at least 8-byte
+// aligned, so bits 0-1 are available.
+
+#include <cstdint>
+
+namespace medley::ds {
+
+template <typename Node>
+inline Node* mark(Node* p, std::uintptr_t bit = 1) noexcept {
+  return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) | bit);
+}
+
+template <typename Node>
+inline Node* unmark(Node* p) noexcept {
+  return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) &
+                                 ~std::uintptr_t{3});
+}
+
+template <typename Node>
+inline bool is_marked(Node* p, std::uintptr_t bit = 1) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & bit) != 0;
+}
+
+template <typename Node>
+inline std::uintptr_t mark_bits(Node* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) & 3;
+}
+
+}  // namespace medley::ds

@@ -1,0 +1,231 @@
+#pragma once
+// NBTC transform of Michael's lock-free chained hash table (paper Fig. 2;
+// Michael, SPAA '02). Each bucket is a Harris/Michael ordered linked list
+// with mark-bit logical deletion.
+//
+// Transform summary (the highlighted lines of Fig. 2):
+//  * node `next` fields and bucket heads are CASObj<Node*>;
+//  * traversal loads are nbtcLoad (they resolve foreign descriptors and
+//    return own speculative values, opening the speculation interval);
+//  * the linearizing CAS of each update passes lin_pt=pub_pt=true;
+//  * read(-only) outcomes register their linearizing load via addToReadSet;
+//  * physical unlink + retirement is post-linearization work, deferred via
+//    addToCleanups (runs immediately outside transactions);
+//  * helping unlinks inside find() use nbtcCAS(false,false) so that they
+//    execute plainly when they complete a *committed* removal but become
+//    critical when they touch this transaction's own speculative state
+//    (the paper's "operation o2 sees earlier operation o1" complication).
+//
+// One deliberate deviation from the figure as printed: for a *found*
+// read, we register the load of `curr->next` (which witnessed curr
+// unmarked) rather than `prev` — a concurrent committed remove(k) marks
+// curr->next without touching prev, so validating prev alone would let
+// a stale read commit. See DESIGN.md §5.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/medley.hpp"
+#include "ds/marked_ptr.hpp"
+
+namespace medley::ds {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class MichaelHashTable : public core::Composable {
+ public:
+  explicit MichaelHashTable(core::TxManager* manager,
+                            std::size_t buckets = 1u << 20)
+      : Composable(manager), nbuckets_(buckets) {
+    buckets_ = new core::CASObj<Node*>[nbuckets_];
+  }
+
+  ~MichaelHashTable() override {
+    for (std::size_t b = 0; b < nbuckets_; b++) {
+      Node* n = buckets_[b].load();
+      while (n != nullptr) {
+        Node* nx = unmark(n->next.load());
+        delete n;
+        n = nx;
+      }
+    }
+    delete[] buckets_;
+  }
+
+  /// Lookup. Linearizes at the load of curr->next (found) or prev->next
+  /// (absent); transactional callers get commit-time validation of that
+  /// load.
+  std::optional<V> get(const K& k) {
+    OpStarter op(mgr);
+    CASObj<Node*>* prev;
+    Node *curr, *next;
+    std::optional<V> res;
+    if (find(prev, curr, next, k)) {
+      res = curr->val;
+      addToReadSet(&curr->next, next);
+    } else {
+      addToReadSet(prev, curr);
+    }
+    return res;
+  }
+
+  bool contains(const K& k) { return get(k).has_value(); }
+
+  /// Insert iff absent. Returns false (and registers the read evidence)
+  /// when the key already exists.
+  bool insert(const K& k, const V& v) {
+    OpStarter op(mgr);
+    CASObj<Node*>* prev;
+    Node *curr, *next;
+    Node* node = nullptr;
+    for (;;) {
+      if (find(prev, curr, next, k)) {
+        if (node != nullptr) tDelete(node);
+        addToReadSet(&curr->next, next);
+        return false;
+      }
+      if (node == nullptr) node = tNew<Node>(k, v);
+      node->next.store(curr);
+      if (prev->nbtcCAS(curr, node, /*lin=*/true, /*pub=*/true)) return true;
+    }
+  }
+
+  /// Insert-or-replace (Fig. 2's put). Returns the previous value if any.
+  /// The replace path links the new node *and* marks the old one in a
+  /// single linearizing CAS: curr->next goes from `next` to mark(node)
+  /// with node->next == next, so traversals splice node in when they
+  /// unlink curr.
+  std::optional<V> put(const K& k, const V& v) {
+    OpStarter op(mgr);
+    CASObj<Node*>* prev;
+    Node *curr, *next;
+    Node* node = tNew<Node>(k, v);
+    for (;;) {
+      if (find(prev, curr, next, k)) {
+        node->next.store(next);
+        if (curr->next.nbtcCAS(next, mark(node), /*lin=*/true,
+                               /*pub=*/true)) {
+          std::optional<V> res = curr->val;
+          addToCleanups(make_unlink_cleanup(prev, curr, node, k));
+          return res;
+        }
+      } else {
+        node->next.store(curr);
+        if (prev->nbtcCAS(curr, node, /*lin=*/true, /*pub=*/true)) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+
+  /// Remove. Linearizes at the mark CAS; physical unlink is cleanup.
+  std::optional<V> remove(const K& k) {
+    OpStarter op(mgr);
+    CASObj<Node*>* prev;
+    Node *curr, *next;
+    for (;;) {
+      if (!find(prev, curr, next, k)) {
+        addToReadSet(prev, curr);
+        return std::nullopt;
+      }
+      if (curr->next.nbtcCAS(next, mark(next), /*lin=*/true, /*pub=*/true)) {
+        std::optional<V> res = curr->val;
+        addToCleanups(make_unlink_cleanup(prev, curr, next, k));
+        return res;
+      }
+    }
+  }
+
+  /// Quiescent full scan (tests/diagnostics; not linearizable).
+  std::size_t size_slow() {
+    OpStarter op(mgr);
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < nbuckets_; b++) {
+      for (Node* cur = buckets_[b].load(); cur != nullptr;) {
+        Node* raw = cur->next.load();
+        if (!is_marked(raw)) n++;
+        cur = unmark(raw);
+      }
+    }
+    return n;
+  }
+
+  /// Quiescent key enumeration (tests).
+  std::vector<K> keys_slow() {
+    OpStarter op(mgr);
+    std::vector<K> out;
+    for (std::size_t b = 0; b < nbuckets_; b++) {
+      for (Node* cur = buckets_[b].load(); cur != nullptr;) {
+        Node* raw = cur->next.load();
+        if (!is_marked(raw)) out.push_back(cur->key);
+        cur = unmark(raw);
+      }
+    }
+    return out;
+  }
+
+ private:
+  template <typename T>
+  using CASObj = core::CASObj<T>;
+
+  struct Node {
+    K key;
+    V val;
+    CASObj<Node*> next;
+    Node(const K& k, const V& v) : key(k), val(v), next(nullptr) {}
+  };
+
+  std::size_t bucket_of(const K& k) const { return Hash{}(k) % nbuckets_; }
+
+  /// Michael's find: position (prev, curr, next) for key k in its bucket,
+  /// unlinking any marked (logically deleted) nodes encountered. Returns
+  /// true iff curr holds k. Restarts from the bucket head when an unlink
+  /// CAS fails.
+  bool find(CASObj<Node*>*& prev, Node*& curr, Node*& next, const K& k) {
+  retry:
+    prev = &buckets_[bucket_of(k)];
+    curr = prev->nbtcLoad();
+    for (;;) {
+      if (curr == nullptr) {
+        next = nullptr;
+        return false;
+      }
+      Node* raw = curr->next.nbtcLoad();
+      if (is_marked(raw)) {
+        Node* target = unmark(raw);
+        if (!prev->nbtcCAS(curr, target, false, false)) goto retry;
+        tRetireAtUnlink(curr);
+        curr = target;
+        continue;
+      }
+      if (!(curr->key < k)) {
+        next = raw;
+        return curr->key == k;
+      }
+      prev = &curr->next;
+      curr = raw;
+    }
+  }
+
+  /// Post-linearization physical unlink of `victim` (replaced or removed):
+  /// splice prev from victim to `succ`; on failure, converge via find()
+  /// (whoever unlinks retires). Runs at commit, or immediately outside a
+  /// transaction.
+  std::function<void()> make_unlink_cleanup(CASObj<Node*>* prev, Node* victim,
+                                            Node* succ, K k) {
+    return [this, prev, victim, succ, k] {
+      if (prev->CAS(victim, succ)) {
+        smr::EBR::instance().retire(victim);
+      } else {
+        CASObj<Node*>* p;
+        Node *c, *n;
+        find(p, c, n, k);
+      }
+    };
+  }
+
+  std::size_t nbuckets_;
+  CASObj<Node*>* buckets_;
+};
+
+}  // namespace medley::ds

@@ -1,0 +1,134 @@
+#pragma once
+// NBTC transform of the Michael & Scott nonblocking queue (PODC '96).
+//
+// This is the structure that demonstrates NBTC's reach beyond sets and
+// mappings (transactional boosting has no inverse for a FIFO dequeue;
+// LFTT/DTT cannot express critical nodes for one): the queue composes
+// because both operations have immediately identifiable linearization
+// points —
+//   enqueue: the CAS that links the new node at tail->next (lin = pub);
+//   dequeue: the CAS that swings head (update), or the load observing
+//            head->next == nullptr (empty: a read-only outcome, validated
+//            via the read set).
+// Tail swings are benign helping (never linearize anybody by themselves)
+// and run as encountered; the post-dequeue retirement of the old dummy is
+// cleanup.
+
+#include <optional>
+
+#include "core/medley.hpp"
+
+namespace medley::ds {
+
+template <typename T>
+class MSQueue : public core::Composable {
+ public:
+  explicit MSQueue(core::TxManager* manager) : Composable(manager) {
+    Node* dummy = new Node(T{});
+    head_.store(dummy);
+    tail_.store(dummy);
+  }
+
+  ~MSQueue() override {
+    Node* n = head_.load();
+    while (n != nullptr) {
+      Node* nx = n->next.load();
+      delete n;
+      n = nx;
+    }
+  }
+
+  void enqueue(const T& v) {
+    OpStarter op(mgr);
+    Node* node = tNew<Node>(v);
+    for (;;) {
+      Node* t = tail_.load_tail();
+      Node* n = t->next.nbtcLoad();
+      if (n != nullptr) {
+        // Tail lags: help it forward (benign unless it touches our own
+        // speculative state, in which case nbtcCAS promotes it).
+        tail_.obj.nbtcCAS(t, n, false, false);
+        continue;
+      }
+      if (t->next.nbtcCAS(nullptr, node, /*lin=*/true, /*pub=*/true)) {
+        addToCleanups([this, t, node] { tail_.obj.CAS(t, node); });
+        return;
+      }
+    }
+  }
+
+  std::optional<T> dequeue() {
+    OpStarter op(mgr);
+    for (;;) {
+      Node* h = head_.obj.nbtcLoad();
+      Node* t = tail_.load_tail();
+      Node* n = h->next.nbtcLoad();
+      if (h == t) {
+        if (n == nullptr) {
+          // Empty: h->next == nullptr proves h is the last node, which in
+          // turn proves h is still the head (the head can only move past a
+          // node whose next is non-null). Validate exactly that load.
+          addToReadSet(&h->next, static_cast<Node*>(nullptr));
+          return std::nullopt;
+        }
+        tail_.obj.nbtcCAS(t, n, false, false);  // helping
+        continue;
+      }
+      if (n == nullptr) continue;  // transient: head behind tail snapshot
+      T val = n->val;
+      if (head_.obj.nbtcCAS(h, n, /*lin=*/true, /*pub=*/true)) {
+        addToCleanups([this, h] { tRetire(h); });
+        return val;
+      }
+    }
+  }
+
+  /// True iff the queue appears empty. Read-only in both outcomes:
+  ///  - empty: validate h->next == nullptr (which also pins h == head,
+  ///    since the head can only move past a node with non-null next);
+  ///  - non-empty: h->next is write-once, so the evidence that can decay
+  ///    is h's head-ness — validate the head cell itself.
+  bool empty() {
+    OpStarter op(mgr);
+    Node* h = head_.obj.nbtcLoad();
+    Node* n = h->next.nbtcLoad();
+    if (n == nullptr) {
+      addToReadSet(&h->next, static_cast<Node*>(nullptr));
+      return true;
+    }
+    addToReadSet(&head_.obj, h);
+    return false;
+  }
+
+  /// Quiescent count (tests only).
+  std::size_t size_slow() {
+    OpStarter op(mgr);
+    std::size_t c = 0;
+    for (Node* n = head_.load()->next.load(); n != nullptr;
+         n = n->next.load()) {
+      c++;
+    }
+    return c;
+  }
+
+ private:
+  struct Node {
+    T val;
+    core::CASObj<Node*> next;
+    explicit Node(const T& v) : val(v), next(nullptr) {}
+  };
+
+  // head and tail live on separate cache lines; wrap the CASObj so the
+  // padding composes.
+  struct alignas(util::kCacheLine) PaddedCell {
+    core::CASObj<Node*> obj;
+    Node* load() { return obj.load(); }
+    Node* load_tail() { return obj.nbtcLoad(); }
+    void store(Node* n) { obj.store(n); }
+  };
+
+  PaddedCell head_;
+  PaddedCell tail_;
+};
+
+}  // namespace medley::ds

@@ -1,0 +1,344 @@
+#pragma once
+// NBTC transform of the Natarajan & Mittal lock-free external BST
+// (PPoPP '14). This is the paper's example of an operation with a
+// *publication point* distinct from its linearization point (Sec. 2.2):
+//
+//   delete(k) = injection (flag the parent->leaf edge)   — pub_pt
+//             + tag the sibling edge                     — inside interval
+//             + excision (swing the ancestor edge)       — lin_pt
+//
+// All three CASes fall in the speculation interval, so inside a
+// transaction they are installed together and take effect atomically at
+// commit; outside a transaction they execute in the classic NM fashion,
+// with other updates helping to finish a published (flagged) delete they
+// stumble over. Reads ignore flags (the delete has not linearized until
+// the excision), exactly as the paper prescribes.
+//
+//   insert(k) = single CAS replacing the leaf with a new internal node
+//               (lin = pub).
+//
+// Read validation (see DESIGN.md §5): a read's evidence is the
+// parent->leaf edge it terminated through; if that edge carried flag/tag
+// bits, the pending excision will land on the *ancestor* edge without
+// touching the parent edge, so the read registers the ancestor edge too.
+//
+// Edge mark bits: FLAG = 1 (leaf below is being deleted),
+//                 TAG  = 2 (edge must not change: sibling of a flagged leaf).
+
+#include <optional>
+#include <vector>
+
+#include "core/medley.hpp"
+#include "ds/marked_ptr.hpp"
+
+namespace medley::ds {
+
+template <typename K, typename V>
+class NatarajanBST : public core::Composable {
+  static constexpr std::uintptr_t kFlag = 1;
+  static constexpr std::uintptr_t kTag = 2;
+
+ public:
+  explicit NatarajanBST(core::TxManager* manager) : Composable(manager) {
+    Node* leaf1 = new Node(IKey::inf(1), V{});
+    Node* leaf2 = new Node(IKey::inf(2), V{});
+    Node* leaf3 = new Node(IKey::inf(3), V{});
+    s_ = new Node(IKey::inf(2), leaf1, leaf2);
+    r_ = new Node(IKey::inf(3), s_, leaf3);
+  }
+
+  ~NatarajanBST() override { destroy(r_); }
+
+  std::optional<V> get(const K& k) {
+    OpStarter op(mgr);
+    Seek sr;
+    seek(k, sr);
+    std::optional<V> res;
+    if (sr.leaf->key.is_real(k)) res = sr.leaf->val;
+    register_read_evidence(sr);
+    return res;
+  }
+
+  bool contains(const K& k) { return get(k).has_value(); }
+
+  bool insert(const K& k, const V& v) {
+    OpStarter op(mgr);
+    Seek sr;
+    Node* new_leaf = nullptr;
+    for (;;) {
+      seek(k, sr);
+      if (sr.leaf->key.is_real(k)) {
+        if (new_leaf != nullptr) tDelete(new_leaf);
+        register_read_evidence(sr);
+        return false;
+      }
+      if (new_leaf == nullptr) new_leaf = tNew<Node>(IKey::real(k), v);
+      // New internal node: routes k and the displaced leaf; its key is the
+      // larger of the two, left child the smaller.
+      Node* sibling = sr.leaf;
+      Node* internal =
+          IKey::real(k) < sibling->key
+              ? tNew<Node>(sibling->key, new_leaf, sibling)
+              : tNew<Node>(IKey::real(k), sibling, new_leaf);
+      if (sr.parent_edge->nbtcCAS(sr.leaf, internal, /*lin=*/true,
+                                  /*pub=*/true)) {
+        return true;
+      }
+      tDelete(internal);
+      // Failed: the edge moved, or carries flag/tag bits from a pending
+      // delete — help finish it, then retry.
+      Node* raw = sr.parent_edge->nbtcLoad();
+      if (unmark(raw) == sr.leaf && mark_bits(raw) != 0) {
+        cleanup(k, sr, /*lin=*/false);
+      }
+    }
+  }
+
+  std::optional<V> remove(const K& k) {
+    OpStarter op(mgr);
+    Seek sr;
+    bool injected = false;
+    Node* target = nullptr;
+    V captured{};
+    for (;;) {
+      seek(k, sr);
+      if (!injected) {
+        if (!sr.leaf->key.is_real(k)) {
+          register_read_evidence(sr);
+          return std::nullopt;
+        }
+        captured = sr.leaf->val;
+        // Injection: publish intent by flagging the parent->leaf edge.
+        if (sr.parent_edge->nbtcCAS(sr.leaf, mark(sr.leaf, kFlag),
+                                    /*lin=*/false, /*pub=*/true)) {
+          injected = true;
+          target = sr.leaf;
+          if (cleanup(k, sr, /*lin=*/true)) return captured;
+        } else {
+          Node* raw = sr.parent_edge->nbtcLoad();
+          if (unmark(raw) == sr.leaf && mark_bits(raw) != 0) {
+            cleanup(k, sr, /*lin=*/false);  // help whoever got there first
+          }
+        }
+      } else {
+        // Injection done; finish (or discover a helper finished) excision.
+        if (sr.leaf != target) return captured;
+        if (cleanup(k, sr, /*lin=*/true)) return captured;
+      }
+    }
+  }
+
+  /// Quiescent scans (tests/diagnostics).
+  std::size_t size_slow() {
+    OpStarter op(mgr);
+    std::size_t n = 0;
+    count(r_, n);
+    return n;
+  }
+
+  std::vector<K> keys_slow() {
+    OpStarter op(mgr);
+    std::vector<K> out;
+    collect(r_, out);
+    return out;
+  }
+
+  /// Structural audit: external-BST ordering invariant.
+  bool invariants_hold_slow() {
+    OpStarter op(mgr);
+    return check(r_, nullptr, nullptr);
+  }
+
+ private:
+  template <typename T>
+  using CASObj = core::CASObj<T>;
+
+  /// Key with three artificial infinities above all real keys.
+  struct IKey {
+    K k{};
+    int rank = 0;  // 0 = real, 1..3 = infinities
+    static IKey real(const K& key) { return IKey{key, 0}; }
+    static IKey inf(int r) { return IKey{K{}, r}; }
+    bool is_real(const K& key) const { return rank == 0 && k == key; }
+    friend bool operator<(const IKey& a, const IKey& b) {
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.rank == 0 && a.k < b.k;
+    }
+  };
+
+  struct Node {
+    IKey key;
+    V val;          // meaningful for leaves only
+    bool internal;  // immutable after construction
+    CASObj<Node*> left, right;
+    Node(IKey ik, const V& v)  // leaf
+        : key(ik), val(v), internal(false), left(nullptr), right(nullptr) {}
+    Node(IKey ik, Node* l, Node* r)  // internal
+        : key(ik), val(V{}), internal(true), left(l), right(r) {}
+  };
+
+  struct Seek {
+    Node* ancestor;
+    Node* successor;
+    Node* parent;
+    Node* leaf;
+    CASObj<Node*>* ancestor_edge;  // ancestor's child field on the path
+    CASObj<Node*>* parent_edge;    // parent's child field holding leaf
+    Node* ancestor_raw;            // raw values as loaded (with bits)
+    Node* parent_raw;
+  };
+
+  CASObj<Node*>* child_toward(Node* n, const IKey& k) {
+    return k < n->key ? &n->left : &n->right;
+  }
+
+  /// NM seek: descend to the leaf for k, maintaining the (ancestor,
+  /// successor) pair = source and target of the deepest *untagged* edge on
+  /// the path (the edge an excision of the current parent would swing).
+  void seek(const K& key, Seek& sr) {
+    const IKey k = IKey::real(key);
+    sr.ancestor = r_;
+    sr.ancestor_edge = &r_->left;
+    sr.ancestor_raw = r_->left.nbtcLoad();
+    sr.successor = unmark(sr.ancestor_raw);
+    sr.parent = sr.successor;  // == s_
+    Node* parent_field = sr.parent->left.nbtcLoad();  // real keys go left of S
+    sr.parent_edge = &sr.parent->left;
+    sr.leaf = unmark(parent_field);
+    sr.parent_raw = parent_field;
+
+    Node* current = sr.leaf;
+    while (current->internal) {
+      CASObj<Node*>* edge = child_toward(current, k);
+      Node* current_field = edge->nbtcLoad();
+      if (!is_marked(parent_field, kTag)) {
+        sr.ancestor = sr.parent;
+        sr.ancestor_edge = sr.parent_edge;
+        sr.ancestor_raw = parent_field;
+        sr.successor = sr.leaf;
+      }
+      sr.parent = sr.leaf;
+      sr.parent_edge = edge;
+      sr.parent_raw = current_field;
+      sr.leaf = unmark(current_field);
+      parent_field = current_field;
+      current = sr.leaf;
+    }
+  }
+
+  /// Read evidence: the terminal edge, plus the ancestor edge when the
+  /// terminal edge carries bits (a pending delete will linearize by
+  /// swinging the ancestor edge without touching the terminal one).
+  void register_read_evidence(Seek& sr) {
+    addToReadSet(sr.parent_edge, sr.parent_raw);
+    if (mark_bits(sr.parent_raw) != 0) {
+      addToReadSet(sr.ancestor_edge, sr.ancestor_raw);
+    }
+  }
+
+  /// Excise the flagged leaf at sr.parent: tag the surviving edge, then
+  /// swing the ancestor edge to the surviving subtree. `lin` marks this as
+  /// the calling operation's own linearization (deleter) vs pure helping.
+  bool cleanup(const K& key, Seek& sr, bool lin) {
+    const IKey k = IKey::real(key);
+    Node* par = sr.parent;
+    CASObj<Node*>* child_edge;
+    CASObj<Node*>* sibling_edge;
+    if (k < par->key) {
+      child_edge = &par->left;
+      sibling_edge = &par->right;
+    } else {
+      child_edge = &par->right;
+      sibling_edge = &par->left;
+    }
+    Node* child_raw = child_edge->nbtcLoad();
+    CASObj<Node*>* flagged_edge = child_edge;
+    CASObj<Node*>* surviving_edge = sibling_edge;
+    if (!is_marked(child_raw, kFlag)) {
+      // The delete being helped flagged the *other* side.
+      flagged_edge = sibling_edge;
+      surviving_edge = child_edge;
+      Node* fraw = flagged_edge->nbtcLoad();
+      if (!is_marked(fraw, kFlag)) return false;  // nothing to clean anymore
+      child_raw = fraw;
+    }
+    Node* victim_leaf = unmark(child_raw);
+
+    // Tag the surviving edge so no insert can slip under the excision.
+    for (;;) {
+      Node* s = surviving_edge->nbtcLoad();
+      if (is_marked(s, kTag)) break;
+      surviving_edge->nbtcCAS(s, mark(s, kTag), false, false);
+    }
+
+    // Excision: swing the ancestor edge to the surviving subtree,
+    // preserving a flag the surviving edge may itself carry.
+    //
+    // Retirement policy: the excision may be the deleter's linearizing
+    // CAS, and a lin_pt success would clear the speculation flag before
+    // we could consult it — misclassifying a speculative (installed)
+    // excision as plain and retiring nodes that an abort would re-link
+    // (a double-free the ASAN sweeps caught). So: execute the CAS with
+    // lin=false, sample the flag afterwards (exact: an installing CAS
+    // leaves it set), retire on the matching path, and end the interval
+    // manually for the deleter.
+    Node* sraw = surviving_edge->nbtcLoad();
+    Node* replacement =
+        is_marked(sraw, kFlag) ? mark(unmark(sraw), kFlag) : unmark(sraw);
+    if (sr.ancestor_edge->nbtcCAS(sr.successor, replacement, /*lin=*/false,
+                                  /*pub=*/false)) {
+      core::TxManager::ThreadCtx* c = core::TxManager::active_ctx();
+      const bool speculative = c != nullptr && c->spec_interval;
+      if (speculative) {
+        tRetire(par);
+        tRetire(victim_leaf);
+        if (lin) c->spec_interval = false;  // the delete just linearized
+      } else {
+        smr::EBR::instance().retire(par);
+        smr::EBR::instance().retire(victim_leaf);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void destroy(Node* n) {
+    if (n == nullptr) return;
+    if (n->internal) {
+      destroy(unmark(n->left.load()));
+      destroy(unmark(n->right.load()));
+    }
+    delete n;
+  }
+
+  void count(Node* n, std::size_t& acc) {
+    if (n->internal) {
+      count(unmark(n->left.load()), acc);
+      count(unmark(n->right.load()), acc);
+    } else if (n->key.rank == 0) {
+      acc++;
+    }
+  }
+
+  void collect(Node* n, std::vector<K>& out) {
+    if (n->internal) {
+      collect(unmark(n->left.load()), out);
+      collect(unmark(n->right.load()), out);
+    } else if (n->key.rank == 0) {
+      out.push_back(n->key.k);
+    }
+  }
+
+  bool check(Node* n, const IKey* lo, const IKey* hi) {
+    if (lo != nullptr && n->key < *lo) return false;
+    if (hi != nullptr && !(n->key < *hi)) return false;
+    if (!n->internal) return true;
+    return check(unmark(n->left.load()), lo, &n->key) &&
+           check(unmark(n->right.load()), &n->key, hi);
+  }
+
+  Node* r_;
+  Node* s_;
+};
+
+}  // namespace medley::ds

@@ -1,0 +1,129 @@
+#include "montage/pregion.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/flush.hpp"
+
+namespace medley::montage {
+
+PRegion::PRegion(const std::string& path, std::size_t capacity)
+    : path_(path), capacity_(capacity) {
+  bytes_ = sizeof(RegionHeader) + capacity_ * sizeof(PBlk);
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) throw std::runtime_error("PRegion: cannot open " + path_);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("PRegion: fstat failed");
+  }
+  const bool existed = static_cast<std::size_t>(st.st_size) >= bytes_;
+  if (!existed && ::ftruncate(fd, static_cast<off_t>(bytes_)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("PRegion: ftruncate failed");
+  }
+  void* base =
+      ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) throw std::runtime_error("PRegion: mmap failed");
+
+  header_ = static_cast<RegionHeader*>(base);
+  slots_ = reinterpret_cast<PBlk*>(static_cast<char*>(base) +
+                                   sizeof(RegionHeader));
+  next_free_.reset(new std::atomic<std::uint64_t>[capacity_]);
+
+  fresh_ = !existed ||
+           header_->format_magic != RegionHeader::kFormatMagic ||
+           header_->capacity != capacity_;
+  if (fresh_) {
+    std::memset(static_cast<void*>(slots_), 0, capacity_ * sizeof(PBlk));
+    header_->format_magic = RegionHeader::kFormatMagic;
+    header_->capacity = capacity_;
+    header_->persisted_epoch.store(0, std::memory_order_relaxed);
+    util::flush_range(header_, sizeof(RegionHeader));
+    util::sfence();
+  }
+  rebuild_freelist([](const PBlk& b) {
+    return b.magic.load(std::memory_order_relaxed) != PBlk::kMagicLive;
+  });
+}
+
+PRegion::~PRegion() {
+  if (header_ != nullptr) {
+    ::munmap(static_cast<void*>(header_), bytes_);
+  }
+}
+
+void PRegion::rebuild_freelist(
+    const std::function<bool(const PBlk&)>& is_free) {
+  free_head_.store(~0ULL, std::memory_order_relaxed);
+  // Push free slots in reverse so allocation proceeds from low indices.
+  for (std::size_t i = capacity_; i-- > 0;) {
+    if (is_free(slots_[i])) {
+      slots_[i].magic.store(PBlk::kMagicFree, std::memory_order_relaxed);
+      const std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+      next_free_[i].store(head, std::memory_order_relaxed);
+      free_head_.store(((head >> 32) + 1) << 32 |
+                           static_cast<std::uint64_t>(i),
+                       std::memory_order_relaxed);
+    } else {
+      next_free_[i].store(~0ULL, std::memory_order_relaxed);
+    }
+  }
+}
+
+PBlk* PRegion::alloc() {
+  std::uint64_t head = free_head_.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint64_t idx = head & 0xffffffffULL;
+    if (idx == 0xffffffffULL) return nullptr;  // exhausted
+    const std::uint64_t next =
+        next_free_[idx].load(std::memory_order_acquire);
+    const std::uint64_t desired =
+        ((head >> 32) + 1) << 32 | (next & 0xffffffffULL);
+    if (free_head_.compare_exchange_weak(head, desired,
+                                         std::memory_order_acq_rel)) {
+      return &slots_[idx];
+    }
+  }
+}
+
+void PRegion::free(PBlk* blk) {
+  blk->magic.store(PBlk::kMagicFree, std::memory_order_release);
+  const auto idx = static_cast<std::uint64_t>(blk - slots_);
+  std::uint64_t head = free_head_.load(std::memory_order_acquire);
+  for (;;) {
+    next_free_[idx].store(head, std::memory_order_relaxed);
+    const std::uint64_t desired = ((head >> 32) + 1) << 32 | idx;
+    if (free_head_.compare_exchange_weak(head, desired,
+                                         std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+void PRegion::reset() {
+  std::memset(static_cast<void*>(slots_), 0, capacity_ * sizeof(PBlk));
+  header_->persisted_epoch.store(0, std::memory_order_relaxed);
+  util::flush_range(header_, sizeof(RegionHeader));
+  util::sfence();
+  rebuild_freelist([](const PBlk&) { return true; });
+}
+
+std::size_t PRegion::live_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < capacity_; i++) {
+    if (slots_[i].magic.load(std::memory_order_relaxed) ==
+        PBlk::kMagicLive) {
+      n++;
+    }
+  }
+  return n;
+}
+
+}  // namespace medley::montage

@@ -1,0 +1,105 @@
+#pragma once
+// Persistent region: a file-backed mmap'd arena standing in for NVM
+// (DESIGN.md §4 substitution: Optane DIMMs -> mmap'd file + real
+// clwb/clflushopt/sfence; the write-back instructions execute for real
+// against the mapped pages, so eager-vs-batched persistence costs keep
+// their relative shape).
+//
+// The arena hands out fixed-size payload blocks (PBlk slots) with a
+// freelist. Block headers carry the epoch tags and lifecycle state that
+// nbMontage recovery interprets; see payload.hpp / recovery.hpp.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace medley::montage {
+
+/// One persistent payload slot. 64 bytes: header + a key/value pair, the
+/// payload shape of a mapping per the paper ("the payloads of a mapping
+/// are simply a pile of key-value pairs"). Queues store
+/// {serial number, item} in the same footprint.
+struct alignas(64) PBlk {
+  static constexpr std::uint64_t kMagicFree = 0;
+  static constexpr std::uint64_t kMagicLive = 0x4d4f4e5441474521ULL;
+
+  std::atomic<std::uint64_t> magic{kMagicFree};
+  std::atomic<std::uint64_t> create_epoch{0};
+  std::atomic<std::uint64_t> retire_epoch{0};  // 0 = still live
+  std::atomic<std::uint64_t> owner_sid{0};     // structure id
+  std::uint64_t key{0};
+  std::uint64_t val{0};
+  std::uint64_t aux{0};       // per-structure extra word (e.g. queue serial)
+  std::uint64_t reserved{0};
+};
+
+static_assert(sizeof(PBlk) == 64);
+
+/// First 64 bytes of the file: recovery metadata.
+struct alignas(64) RegionHeader {
+  static constexpr std::uint64_t kFormatMagic = 0x7478'4d4f'4e54'4147ULL;
+  std::uint64_t format_magic{0};
+  std::uint64_t capacity{0};
+  /// Highest epoch whose payloads are fully durable; recovery restores
+  /// the state as of the end of this epoch.
+  std::atomic<std::uint64_t> persisted_epoch{0};
+  std::uint64_t reserved[5]{};
+};
+
+static_assert(sizeof(RegionHeader) == 64);
+
+class PRegion {
+ public:
+  /// Map (creating if needed) a persistent region with `capacity` payload
+  /// slots at `path`. An existing file is mapped as-is so recovery can
+  /// inspect its contents.
+  PRegion(const std::string& path, std::size_t capacity);
+  ~PRegion();
+
+  PRegion(const PRegion&) = delete;
+  PRegion& operator=(const PRegion&) = delete;
+
+  /// Allocate a slot (lock-free freelist over slot indices).
+  /// Returns nullptr when the region is exhausted.
+  PBlk* alloc();
+
+  /// Return a slot to the freelist (after its retirement persisted).
+  void free(PBlk* blk);
+
+  PBlk* slot(std::size_t i) { return &slots_[i]; }
+  std::size_t capacity() const { return capacity_; }
+  RegionHeader& header() { return *header_; }
+
+  /// Was the mapped file created fresh (true) or did it carry an existing
+  /// format header (false -> recovery candidate)?
+  bool fresh() const { return fresh_; }
+
+  /// Rebuild the transient freelist: every slot for which `is_free`
+  /// returns true becomes allocatable (and is wiped). Called on open and
+  /// by recovery.
+  void rebuild_freelist(const std::function<bool(const PBlk&)>& is_free);
+
+  /// Wipe all slots to the free state (tests / fresh start).
+  void reset();
+
+  /// Number of live (allocated) slots — O(capacity) scan, tests only.
+  std::size_t live_count() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t capacity_;
+  std::size_t bytes_;
+  bool fresh_ = false;
+  RegionHeader* header_ = nullptr;
+  PBlk* slots_ = nullptr;
+  // Transient freelist (rebuilt on open): Treiber stack of slot indices.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> next_free_;
+  std::atomic<std::uint64_t> free_head_{~0ULL};  // {aba:32, index:32}
+};
+
+}  // namespace medley::montage

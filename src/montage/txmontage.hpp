@@ -1,0 +1,105 @@
+#pragma once
+// txMontage data structures (paper Sec. 4.4): Medley structures whose
+// semantically significant data ("payloads") live in the persistent
+// region while the structure itself — the index — stays in DRAM and is
+// rebuilt on recovery. A transaction's payloads are all tagged with the
+// transaction's epoch; MCNS commit validation of the folded epoch cell
+// guarantees the transaction linearizes in that epoch, so an epoch is
+// recovered or lost as a unit: failure atomicity and durability "almost
+// for free".
+//
+// The map's payload is a {key, value} pair (one PBlk per mapping entry);
+// the DRAM index maps key -> PBlk*. Values are immutable per payload —
+// an update allocates a fresh payload and retires the old one, exactly
+// the nbMontage payload discipline.
+
+#include <optional>
+#include <stdexcept>
+
+#include "ds/fraser_skiplist.hpp"
+#include "ds/michael_hashtable.hpp"
+#include "montage/epoch_sys.hpp"
+
+namespace medley::montage {
+
+/// Generic persistent map wrapper: `Index` is any Medley map from
+/// uint64_t keys to PBlk* values (Michael hash table, Fraser skiplist).
+template <typename Index>
+class TxMontageMap {
+ public:
+  template <typename... IndexArgs>
+  TxMontageMap(core::TxManager* mgr, EpochSys* es, std::uint64_t sid,
+               IndexArgs&&... index_args)
+      : es_(es),
+        sid_(sid),
+        index_(mgr, std::forward<IndexArgs>(index_args)...) {}
+
+  std::optional<std::uint64_t> get(std::uint64_t k) {
+    EpochSys::OpGuard g(es_);
+    auto blk = index_.get(k);
+    if (!blk) return std::nullopt;
+    return (*blk)->val;
+  }
+
+  bool contains(std::uint64_t k) { return get(k).has_value(); }
+
+  bool insert(std::uint64_t k, std::uint64_t v) {
+    EpochSys::OpGuard g(es_);
+    PBlk* payload = alloc(k, v);
+    if (index_.insert(k, payload)) return true;
+    es_->cancel_payload(payload);
+    return false;
+  }
+
+  std::optional<std::uint64_t> put(std::uint64_t k, std::uint64_t v) {
+    EpochSys::OpGuard g(es_);
+    PBlk* payload = alloc(k, v);
+    auto old = index_.put(k, payload);
+    if (!old) return std::nullopt;
+    const std::uint64_t old_val = (*old)->val;
+    es_->retire_payload(*old);
+    return old_val;
+  }
+
+  std::optional<std::uint64_t> remove(std::uint64_t k) {
+    EpochSys::OpGuard g(es_);
+    auto old = index_.remove(k);
+    if (!old) return std::nullopt;
+    const std::uint64_t old_val = (*old)->val;
+    es_->retire_payload(*old);
+    return old_val;
+  }
+
+  /// Rebuild the DRAM index from recovered payloads (call once, before
+  /// any operations, with the survivors of EpochSys::recover()).
+  void recover_from(const std::vector<EpochSys::Recovered>& payloads) {
+    for (const auto& r : payloads) {
+      if (r.sid != sid_) continue;
+      index_.insert(r.key, r.blk);
+    }
+  }
+
+  std::size_t size_slow() { return index_.size_slow(); }
+
+  Index& index() { return index_; }
+
+ private:
+  PBlk* alloc(std::uint64_t k, std::uint64_t v) {
+    PBlk* payload = es_->alloc_payload(sid_, k, v);
+    if (payload == nullptr) {
+      throw std::runtime_error("txMontage: persistent region exhausted");
+    }
+    return payload;
+  }
+
+  EpochSys* es_;
+  std::uint64_t sid_;
+  Index index_;
+};
+
+using TxMontageHashTable =
+    TxMontageMap<ds::MichaelHashTable<std::uint64_t, PBlk*>>;
+using TxMontageSkiplist =
+    TxMontageMap<ds::FraserSkiplist<std::uint64_t, PBlk*>>;
+
+}  // namespace medley::montage

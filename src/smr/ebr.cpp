@@ -1,0 +1,88 @@
+#include "smr/ebr.hpp"
+
+namespace medley::smr {
+
+EBR& EBR::instance() {
+  static EBR ebr;
+  return ebr;
+}
+
+EBR::ThreadSlot& EBR::my_slot() {
+  return *slots_[util::ThreadRegistry::tid()];
+}
+
+void EBR::enter() {
+  ThreadSlot& s = my_slot();
+  if (s.nesting++ == 0) {
+    // The reservation must be globally visible before any subsequent load
+    // of shared structure memory, hence seq_cst (a release store could be
+    // reordered after the traversal's loads).
+    s.reservation.store(global_epoch_.load(std::memory_order_relaxed),
+                        std::memory_order_seq_cst);
+  }
+}
+
+void EBR::exit() {
+  ThreadSlot& s = my_slot();
+  if (--s.nesting == 0) {
+    s.reservation.store(kQuiescent, std::memory_order_release);
+  }
+}
+
+EBR::Guard::Guard() { EBR::instance().enter(); }
+EBR::Guard::~Guard() { EBR::instance().exit(); }
+
+void EBR::retire(void* p, void (*deleter)(void*)) {
+  ThreadSlot& s = my_slot();
+  s.limbo.push_back(
+      {p, deleter, global_epoch_.load(std::memory_order_acquire)});
+  if (++s.retire_count >= kCollectPeriod) {
+    s.retire_count = 0;
+    collect();
+  }
+}
+
+bool EBR::try_advance() {
+  const std::uint64_t cur = global_epoch_.load(std::memory_order_acquire);
+  const int n = util::ThreadRegistry::max_tid();
+  for (int i = 0; i < n; i++) {
+    const std::uint64_t r =
+        slots_[i]->reservation.load(std::memory_order_acquire);
+    if (r != kQuiescent && r < cur) return false;  // straggler pins cur-1
+  }
+  std::uint64_t expected = cur;
+  global_epoch_.compare_exchange_strong(expected, cur + 1,
+                                        std::memory_order_acq_rel);
+  return true;  // someone advanced (us or a peer)
+}
+
+void EBR::sweep(ThreadSlot& slot) {
+  const std::uint64_t cur = global_epoch_.load(std::memory_order_acquire);
+  auto& limbo = slot.limbo;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < limbo.size(); i++) {
+    if (limbo[i].epoch + 2 <= cur) {
+      limbo[i].deleter(limbo[i].ptr);
+    } else {
+      limbo[kept++] = limbo[i];
+    }
+  }
+  limbo.resize(kept);
+}
+
+void EBR::collect() {
+  try_advance();
+  sweep(my_slot());
+}
+
+void EBR::drain() {
+  // Two successful advances guarantee everything currently in limbo ages out
+  // (provided no other thread is pinned, which is the caller's contract).
+  for (int i = 0; i < 4 && !my_slot().limbo.empty(); i++) collect();
+}
+
+std::size_t EBR::limbo_size() const {
+  return const_cast<EBR*>(this)->my_slot().limbo.size();
+}
+
+}  // namespace medley::smr

@@ -1,0 +1,394 @@
+#pragma once
+// OneFile-style nonblocking STM baseline (Ramalhete, Correia, Felber &
+// Cohen, DSN '19), reimplemented to the published design's key properties
+// (DESIGN.md §4):
+//
+//  * transactions serialize on a global sequence number — writers publish
+//    a redo log and a single writer (plus any helpers) applies it, so
+//    there is at most one write transaction in flight;
+//  * every mutable word is a {value, sequence} pair updated with a 128-bit
+//    CAS, which makes log application idempotent and lets helpers finish a
+//    stalled writer (nonblocking progress);
+//  * readers need NO read set: a reader pins snapshot s and restarts if it
+//    ever observes a word with sequence > s — the serialized writers make
+//    any such state a consistent snapshot.
+//
+// The persistent variant (POneFile) layers eager cache-line write-back on
+// the apply path and log persistence on the publish path; see
+// onefile_persist note in the class.
+//
+// API shape: structures built over tmtype<T> fields; user code wraps
+// composed operations in updateTx/readTx lambdas, which retry internally
+// until they commit (so unlike Medley there is no abort exception to
+// handle — matching the original OneFile API).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "smr/ebr.hpp"
+#include "util/align.hpp"
+#include "util/atomic128.hpp"
+#include "util/flush.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::stm {
+
+class OneFileSTM;
+
+/// A transactional 64-bit word: {value, sequence}.
+template <typename T>
+class tmtype {
+  static_assert(sizeof(T) <= 8, "tmtype holds word-sized values");
+
+ public:
+  tmtype() : pair_(util::U128{0, 0}) {}
+  explicit tmtype(T v) : pair_(util::U128{encode(v), 0}) {}
+
+  /// Transactional load/store — must run inside readTx/updateTx.
+  T pload() const;
+  void pstore(T v);
+
+  /// Non-transactional accessors (initialization, quiescent scans).
+  T load_direct() const { return decode(pair_.load().lo); }
+  void store_direct(T v) {
+    auto cur = pair_.load();
+    pair_.store({encode(v), cur.hi});
+  }
+
+  static std::uint64_t encode(T v) {
+    if constexpr (std::is_pointer_v<T>) {
+      return reinterpret_cast<std::uint64_t>(v);
+    } else {
+      std::uint64_t out = 0;
+      __builtin_memcpy(&out, &v, sizeof(T));
+      return out;
+    }
+  }
+  static T decode(std::uint64_t raw) {
+    if constexpr (std::is_pointer_v<T>) {
+      return reinterpret_cast<T>(raw);
+    } else {
+      T out{};
+      __builtin_memcpy(&out, &raw, sizeof(T));
+      return out;
+    }
+  }
+
+ private:
+  friend class OneFileSTM;
+  mutable util::Atomic128 pair_;
+};
+
+/// Thrown internally to restart a transaction attempt.
+struct OFRestart {};
+
+class OneFileSTM {
+ public:
+  static constexpr int kMaxWrites = 4096;
+
+  /// `persistent` enables the POneFile behaviour: eager clwb of every
+  /// applied word, plus log write-back and fencing before the commit
+  /// becomes visible (the cost profile the paper's dotted POneFile lines
+  /// show).
+  explicit OneFileSTM(bool persistent = false) : persistent_(persistent) {}
+
+  /// Run a write transaction; retries until committed. Returns f's result.
+  template <typename F>
+  auto updateTx(F&& f) {
+    Ctx& c = my_ctx();
+    if (c.mode != Mode::None) return f();  // nested: flatten
+    for (;;) {
+      smr::EBR::Guard g;
+      BindScope bind(this);
+      c.mode = Mode::Write;
+      c.snapshot = gseq_.load(std::memory_order_seq_cst);
+      c.log_count = 0;
+      c.retires.clear();
+      try {
+        if constexpr (std::is_void_v<decltype(f())>) {
+          f();
+          commit_write(c);
+          c.mode = Mode::None;
+          flush_retires(c);
+          return;
+        } else {
+          auto res = f();
+          commit_write(c);
+          c.mode = Mode::None;
+          flush_retires(c);
+          return res;
+        }
+      } catch (const OFRestart&) {
+        c.mode = Mode::None;
+        help_current();
+      }
+    }
+  }
+
+  /// Run a read-only transaction; retries until a consistent snapshot is
+  /// observed. Returns f's result.
+  template <typename F>
+  auto readTx(F&& f) {
+    Ctx& c = my_ctx();
+    if (c.mode != Mode::None) return f();
+    for (;;) {
+      smr::EBR::Guard g;
+      BindScope bind(this);
+      c.mode = Mode::Read;
+      c.snapshot = gseq_.load(std::memory_order_seq_cst);
+      try {
+        if constexpr (std::is_void_v<decltype(f())>) {
+          f();
+          c.mode = Mode::None;
+          return;
+        } else {
+          auto res = f();
+          c.mode = Mode::None;
+          return res;
+        }
+      } catch (const OFRestart&) {
+        c.mode = Mode::None;
+        help_current();
+      }
+    }
+  }
+
+  /// Defer reclamation of a node unlinked by the running write tx until
+  /// after the commit (discarded on restart; the unlink never happened).
+  template <typename T>
+  void retire_after_commit(T* p) {
+    my_ctx().retires.push_back(
+        {p, [](void* q) { delete static_cast<T*>(q); }});
+  }
+
+  std::uint64_t sequence() const {
+    return gseq_.load(std::memory_order_acquire);
+  }
+
+  // ---- internals shared with tmtype -----------------------------------
+
+  enum class Mode : std::uint8_t { None, Read, Write };
+
+  /// Binds this instance as the thread's current STM for the duration of
+  /// one transaction attempt (tmtype accessors route through it).
+  class BindScope {
+   public:
+    explicit BindScope(OneFileSTM* stm);
+    ~BindScope();
+
+   private:
+    OneFileSTM* prev_;
+  };
+
+  struct LogEntry {
+    util::Atomic128* addr;
+    std::uint64_t val;
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*del)(void*);
+  };
+
+  struct Ctx {
+    Mode mode = Mode::None;
+    std::uint64_t snapshot = 0;
+    int log_count = 0;
+    LogEntry log[kMaxWrites];
+    std::vector<Retired> retires;
+  };
+
+  static Ctx& my_ctx() {
+    thread_local Ctx ctx;
+    return ctx;
+  }
+
+  std::uint64_t read_word(util::Atomic128& pair) {
+    Ctx& c = my_ctx();
+    if (c.mode == Mode::Write) {
+      // Read-own-writes through the redo log.
+      for (int i = c.log_count - 1; i >= 0; i--) {
+        if (c.log[i].addr == &pair) return c.log[i].val;
+      }
+    }
+    util::U128 u = pair.load();
+    if (c.mode != Mode::None && u.hi > c.snapshot) throw OFRestart{};
+    return u.lo;
+  }
+
+  void write_word(util::Atomic128& pair, std::uint64_t val) {
+    Ctx& c = my_ctx();
+    if (c.mode != Mode::Write) {
+      throw std::logic_error("OneFile: pstore outside updateTx");
+    }
+    for (int i = c.log_count - 1; i >= 0; i--) {
+      if (c.log[i].addr == &pair) {
+        c.log[i].val = val;
+        return;
+      }
+    }
+    // Reading the current pair also validates the snapshot.
+    util::U128 u = pair.load();
+    if (u.hi > c.snapshot) throw OFRestart{};
+    if (c.log_count >= kMaxWrites) {
+      throw std::runtime_error("OneFile: redo log overflow");
+    }
+    c.log[c.log_count++] = {&pair, val};
+  }
+
+ private:
+  /// Published transaction record; per-thread, seqlock-versioned so
+  /// helpers can take a consistent copy.
+  struct PubTx {
+    std::atomic<std::uint64_t> version{0};  // odd while being (re)filled
+    std::uint64_t seq = 0;                  // commit sequence (snapshot+1)
+    int count = 0;
+    LogEntry log[kMaxWrites];
+  };
+
+  void commit_write(Ctx& c) {
+    if (c.log_count == 0) return;  // read-only after all
+    PubTx& tx = my_pub();
+    // Fill under an odd version so stale helpers can't copy a torn log.
+    tx.version.fetch_add(1, std::memory_order_acq_rel);
+    tx.seq = c.snapshot + 1;
+    tx.count = c.log_count;
+    for (int i = 0; i < c.log_count; i++) tx.log[i] = c.log[i];
+    if (persistent_) {
+      // POneFile: the redo log must be durable before it becomes the
+      // recovery point.
+      util::flush_range(tx.log, sizeof(LogEntry) *
+                                    static_cast<std::size_t>(tx.count));
+      util::flush_range(&tx.seq, sizeof(tx.seq));
+      util::sfence();
+    }
+    tx.version.fetch_add(1, std::memory_order_release);
+
+    for (;;) {
+      PubTx* expected = nullptr;
+      if (cur_tx_.compare_exchange_strong(expected, &tx,
+                                          std::memory_order_seq_cst)) {
+        PubTx* mine = &tx;
+        if (gseq_.load(std::memory_order_seq_cst) != c.snapshot) {
+          // The world moved between our snapshot and our publication.
+          // CAS, not store: a helper may already have finalized us and a
+          // new writer published — a blind store would clobber their
+          // publication and break writer serialization.
+          cur_tx_.compare_exchange_strong(mine, nullptr,
+                                          std::memory_order_seq_cst);
+          throw OFRestart{};
+        }
+        apply(tx.log, tx.count, tx.seq);
+        std::uint64_t e = c.snapshot;
+        gseq_.compare_exchange_strong(e, tx.seq, std::memory_order_seq_cst);
+        if (persistent_) {
+          util::flush_range(&gseq_, sizeof(gseq_));
+          util::sfence();
+        }
+        cur_tx_.compare_exchange_strong(mine, nullptr,
+                                        std::memory_order_seq_cst);
+        return;
+      }
+      help(expected);
+      // Somebody else committed meanwhile; our snapshot is stale.
+      if (gseq_.load(std::memory_order_seq_cst) != c.snapshot) {
+        throw OFRestart{};
+      }
+    }
+  }
+
+  /// Idempotent application: a word is updated only while its sequence is
+  /// older than the transaction's.
+  void apply(const LogEntry* log, int n, std::uint64_t seq) {
+    for (int i = 0; i < n; i++) {
+      util::U128 cur = log[i].addr->load();
+      while (cur.hi < seq) {
+        if (log[i].addr->compare_exchange(cur, {log[i].val, seq})) {
+          if (persistent_) util::clwb(log[i].addr);
+          break;
+        }
+      }
+    }
+    if (persistent_) util::sfence();
+  }
+
+  void help(PubTx* t) {
+    if (t == nullptr) return;
+    const std::uint64_t v1 = t->version.load(std::memory_order_acquire);
+    if (v1 & 1) return;  // being refilled
+    const std::uint64_t seq = t->seq;
+    const int n = t->count;
+    if (n < 0 || n > kMaxWrites) return;
+    thread_local std::vector<LogEntry> copy;
+    copy.assign(t->log, t->log + n);
+    if (t->version.load(std::memory_order_acquire) != v1) return;
+    if (cur_tx_.load(std::memory_order_seq_cst) != t) return;
+    if (gseq_.load(std::memory_order_seq_cst) != seq - 1) return;
+    // The copied log is the one currently published: finish it.
+    apply(copy.data(), n, seq);
+    std::uint64_t e = seq - 1;
+    gseq_.compare_exchange_strong(e, seq, std::memory_order_seq_cst);
+    PubTx* expected = t;
+    cur_tx_.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_seq_cst);
+  }
+
+  void help_current() { help(cur_tx_.load(std::memory_order_seq_cst)); }
+
+  void flush_retires(Ctx& c) {
+    auto& ebr = smr::EBR::instance();
+    for (const Retired& r : c.retires) ebr.retire(r.ptr, r.del);
+    c.retires.clear();
+  }
+
+  PubTx& my_pub() {
+    const int tid = util::ThreadRegistry::tid();
+    if (!pubs_[tid]) pubs_[tid] = std::make_unique<PubTx>();
+    return *pubs_[tid];
+  }
+
+  const bool persistent_;
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> gseq_{0};
+  alignas(util::kCacheLine) std::atomic<PubTx*> cur_tx_{nullptr};
+  std::unique_ptr<PubTx> pubs_[util::ThreadRegistry::kMaxThreads];
+};
+
+/// tmtype accessors route through the thread's current STM instance,
+/// bound for the duration of each transaction attempt by updateTx/readTx.
+namespace detail {
+inline OneFileSTM*& current_stm() {
+  thread_local OneFileSTM* stm = nullptr;
+  return stm;
+}
+}  // namespace detail
+
+inline OneFileSTM::BindScope::BindScope(OneFileSTM* stm)
+    : prev_(detail::current_stm()) {
+  detail::current_stm() = stm;
+}
+
+inline OneFileSTM::BindScope::~BindScope() {
+  detail::current_stm() = prev_;
+}
+
+template <typename T>
+T tmtype<T>::pload() const {
+  OneFileSTM* stm = detail::current_stm();
+  if (stm == nullptr) return load_direct();
+  return decode(stm->read_word(pair_));
+}
+
+template <typename T>
+void tmtype<T>::pstore(T v) {
+  OneFileSTM* stm = detail::current_stm();
+  if (stm == nullptr) {
+    store_direct(v);
+    return;
+  }
+  stm->write_word(pair_, encode(v));
+}
+
+}  // namespace medley::stm

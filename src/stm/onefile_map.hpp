@@ -1,0 +1,229 @@
+#pragma once
+// Sequential data structures parallelized with the OneFile STM, matching
+// the paper's baseline setup: "In OneFile, we use a sequential chained
+// hash table parallelized using STM" and "skiplists derived from Fraser's
+// STM-based skiplist".
+//
+// Operations assume they run inside an updateTx/readTx of the owning STM
+// (composed transactions call several ops inside one lambda); each method
+// also works standalone by opening a transaction of its own when none is
+// active.
+
+#include <optional>
+#include <vector>
+
+#include "stm/onefile.hpp"
+#include "util/rng.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::stm {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class OFHashMap {
+ public:
+  OFHashMap(OneFileSTM* stm, std::size_t buckets = 1u << 20)
+      : stm_(stm), nbuckets_(buckets),
+        buckets_(new tmtype<Node*>[buckets]) {}
+
+  ~OFHashMap() {
+    for (std::size_t b = 0; b < nbuckets_; b++) {
+      Node* n = buckets_[b].load_direct();
+      while (n != nullptr) {
+        Node* nx = n->next.load_direct();
+        delete n;
+        n = nx;
+      }
+    }
+  }
+
+  std::optional<V> get(const K& k) {
+    return stm_->readTx([&]() -> std::optional<V> {
+      Node* cur = buckets_[bucket_of(k)].pload();
+      while (cur != nullptr && cur->key < k) cur = cur->next.pload();
+      if (cur != nullptr && cur->key == k) return cur->val.pload();
+      return std::nullopt;
+    });
+  }
+
+  bool contains(const K& k) { return get(k).has_value(); }
+
+  bool insert(const K& k, const V& v) {
+    return stm_->updateTx([&]() -> bool {
+      tmtype<Node*>* prev = &buckets_[bucket_of(k)];
+      Node* cur = prev->pload();
+      while (cur != nullptr && cur->key < k) {
+        prev = &cur->next;
+        cur = prev->pload();
+      }
+      if (cur != nullptr && cur->key == k) return false;
+      Node* node = new Node(k, v, cur);
+      prev->pstore(node);
+      return true;
+    });
+  }
+
+  /// Insert-or-replace; returns the previous value if any.
+  std::optional<V> put(const K& k, const V& v) {
+    return stm_->updateTx([&]() -> std::optional<V> {
+      tmtype<Node*>* prev = &buckets_[bucket_of(k)];
+      Node* cur = prev->pload();
+      while (cur != nullptr && cur->key < k) {
+        prev = &cur->next;
+        cur = prev->pload();
+      }
+      if (cur != nullptr && cur->key == k) {
+        V old = cur->val.pload();
+        cur->val.pstore(v);
+        return old;
+      }
+      prev->pstore(new Node(k, v, cur));
+      return std::nullopt;
+    });
+  }
+
+  std::optional<V> remove(const K& k) {
+    return stm_->updateTx([&]() -> std::optional<V> {
+      tmtype<Node*>* prev = &buckets_[bucket_of(k)];
+      Node* cur = prev->pload();
+      while (cur != nullptr && cur->key < k) {
+        prev = &cur->next;
+        cur = prev->pload();
+      }
+      if (cur == nullptr || !(cur->key == k)) return std::nullopt;
+      V old = cur->val.pload();
+      prev->pstore(cur->next.pload());
+      stm_->retire_after_commit(cur);
+      return old;
+    });
+  }
+
+  std::size_t size_slow() {
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < nbuckets_; b++) {
+      for (Node* cur = buckets_[b].load_direct(); cur != nullptr;
+           cur = cur->next.load_direct()) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    K key;
+    tmtype<V> val;
+    tmtype<Node*> next;
+    Node(const K& k, const V& v, Node* nx) : key(k), val(v), next(nx) {}
+  };
+
+  std::size_t bucket_of(const K& k) const { return Hash{}(k) % nbuckets_; }
+
+  OneFileSTM* stm_;
+  std::size_t nbuckets_;
+  std::unique_ptr<tmtype<Node*>[]> buckets_;
+};
+
+template <typename K, typename V, int kMaxLevel = 20>
+class OFSkipList {
+ public:
+  explicit OFSkipList(OneFileSTM* stm)
+      : stm_(stm), head_(new Node(K{}, V{}, kMaxLevel)) {}
+
+  ~OFSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next[0].load_direct();
+      delete n;
+      n = nx;
+    }
+  }
+
+  std::optional<V> get(const K& k) {
+    return stm_->readTx([&]() -> std::optional<V> {
+      Node* cur = descend(k, nullptr);
+      if (cur != nullptr && cur->key == k) return cur->val.pload();
+      return std::nullopt;
+    });
+  }
+
+  bool contains(const K& k) { return get(k).has_value(); }
+
+  bool insert(const K& k, const V& v) {
+    return stm_->updateTx([&]() -> bool {
+      Node* preds[kMaxLevel];
+      Node* cur = descend(k, preds);
+      if (cur != nullptr && cur->key == k) return false;
+      Node* node = new Node(k, v, random_level());
+      for (int i = 0; i < node->level; i++) {
+        node->next[i].store_direct(preds[i]->next[i].pload());
+        preds[i]->next[i].pstore(node);
+      }
+      return true;
+    });
+  }
+
+  std::optional<V> remove(const K& k) {
+    return stm_->updateTx([&]() -> std::optional<V> {
+      Node* preds[kMaxLevel];
+      Node* cur = descend(k, preds);
+      if (cur == nullptr || !(cur->key == k)) return std::nullopt;
+      V old = cur->val.pload();
+      for (int i = 0; i < cur->level; i++) {
+        if (preds[i]->next[i].pload() == cur) {
+          preds[i]->next[i].pstore(cur->next[i].pload());
+        }
+      }
+      stm_->retire_after_commit(cur);
+      return old;
+    });
+  }
+
+  std::size_t size_slow() {
+    std::size_t n = 0;
+    for (Node* cur = head_->next[0].load_direct(); cur != nullptr;
+         cur = cur->next[0].load_direct()) {
+      n++;
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    K key;
+    tmtype<V> val;
+    int level;
+    std::unique_ptr<tmtype<Node*>[]> next;
+    Node(const K& k, const V& v, int lvl)
+        : key(k), val(v), level(lvl), next(new tmtype<Node*>[lvl]) {}
+  };
+
+  static int random_level() {
+    thread_local util::Xoshiro256 rng(
+        0xa076'1d64'78bd'642fULL ^
+        static_cast<std::uint64_t>(util::ThreadRegistry::tid() + 1));
+    int lvl = 1;
+    while (lvl < kMaxLevel && (rng.next() & 1)) lvl++;
+    return lvl;
+  }
+
+  /// Sequential descent; fills preds (if non-null) and returns the level-0
+  /// successor candidate.
+  Node* descend(const K& k, Node** preds) {
+    Node* pred = head_;
+    Node* cur = nullptr;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; lvl--) {
+      cur = pred->next[lvl].pload();
+      while (cur != nullptr && cur->key < k) {
+        pred = cur;
+        cur = pred->next[lvl].pload();
+      }
+      if (preds != nullptr) preds[lvl] = pred;
+    }
+    return cur;
+  }
+
+  OneFileSTM* stm_;
+  Node* head_;
+};
+
+}  // namespace medley::stm

@@ -1,0 +1,479 @@
+#pragma once
+// TDSL-style transactional skiplist (Spiegelman, Golan-Gueta & Keidar,
+// PLDI '16), reimplemented to the published design's key properties
+// (DESIGN.md §4):
+//
+//  * *blocking* transactions: commit acquires per-node spinlocks
+//    (address-ordered, bounded-spin-then-abort) on the critical nodes;
+//  * *semantic read sets*: a traversal records only the critical nodes the
+//    outcome depends on (the predecessor, and the found node), each with a
+//    version — not every node touched — which is TDSL's central
+//    optimization over general STM;
+//  * an index (towers) maintained lazily outside the transaction; only the
+//    bottom-level list is transactional.
+//
+// Transactions: txBegin / operations / txCommit (returns false on abort).
+// Operations called with no open transaction run as singletons
+// (begin+commit internally, retrying until success).
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "smr/ebr.hpp"
+#include "util/align.hpp"
+#include "util/backoff.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::stm {
+
+template <typename K, typename V, int kIndexLevels = 12>
+class TdslSkiplist {
+ public:
+  TdslSkiplist() : head_(new Node(K{}, V{}, kIndexLevels, /*sentinel=*/true)) {}
+
+  ~TdslSkiplist() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next.load();
+      delete n;
+      n = nx;
+    }
+  }
+
+  void txBegin() {
+    Ctx& c = ctx();
+    c.active = true;
+    c.reads.clear();
+    c.ops.clear();
+    c.overlay.clear();
+    c.guard.emplace();
+  }
+
+  /// Attempt to commit; on failure the transaction's effects are discarded
+  /// and false is returned (caller retries).
+  bool txCommit() {
+    Ctx& c = ctx();
+    bool ok = do_commit(c);
+    c.active = false;
+    c.guard.reset();
+    return ok;
+  }
+
+  /// Discard the open transaction without applying it.
+  void txAbortLocal() {
+    Ctx& c = ctx();
+    c.active = false;
+    c.reads.clear();
+    c.ops.clear();
+    c.overlay.clear();
+    c.guard.reset();
+  }
+
+  bool in_tx() { return ctx().active; }
+
+  std::optional<V> get(const K& k) {
+    Ctx& c = ctx();
+    if (!c.active) return singleton<std::optional<V>>([&] { return get(k); });
+    if (const Overlay* o = c.find_overlay(k)) {
+      return o->present ? std::optional<V>(o->val) : std::nullopt;
+    }
+    Node *pred, *curr;
+    traverse(k, pred, curr, c);
+    if (curr != nullptr && curr->key == k) {
+      c.note_read(curr);
+      return curr->val;
+    }
+    return std::nullopt;
+  }
+
+  bool contains(const K& k) { return get(k).has_value(); }
+
+  bool insert(const K& k, const V& v) {
+    Ctx& c = ctx();
+    if (!c.active) return singleton<bool>([&] { return insert(k, v); });
+    if (const Overlay* o = c.find_overlay(k)) {
+      if (o->present) return false;
+      c.set_overlay(k, true, v);
+      c.ops.push_back({OpType::Insert, k, v, nullptr});
+      return true;
+    }
+    Node *pred, *curr;
+    traverse(k, pred, curr, c);
+    if (curr != nullptr && curr->key == k) {
+      c.note_read(curr);
+      return false;
+    }
+    c.ops.push_back({OpType::Insert, k, v, pred});
+    c.set_overlay(k, true, v);
+    return true;
+  }
+
+  std::optional<V> remove(const K& k) {
+    Ctx& c = ctx();
+    if (!c.active) {
+      return singleton<std::optional<V>>([&] { return remove(k); });
+    }
+    if (const Overlay* o = c.find_overlay(k)) {
+      if (!o->present) return std::nullopt;
+      V old = o->val;
+      c.set_overlay(k, false, V{});
+      // Cancel a pending insert of the same key if one exists; otherwise
+      // queue a removal of the real node.
+      for (std::size_t i = c.ops.size(); i-- > 0;) {
+        if (c.ops[i].key == k && c.ops[i].type == OpType::Insert) {
+          c.ops.erase(c.ops.begin() + static_cast<long>(i));
+          return old;
+        }
+      }
+      c.ops.push_back({OpType::Remove, k, V{}, nullptr});
+      return old;
+    }
+    Node *pred, *curr;
+    traverse(k, pred, curr, c);
+    if (curr == nullptr || !(curr->key == k)) return std::nullopt;
+    c.note_read(curr);
+    c.ops.push_back({OpType::Remove, k, V{}, pred});
+    c.set_overlay(k, false, V{});
+    return curr->val;
+  }
+
+  std::size_t size_slow() {
+    smr::EBR::Guard g;
+    std::size_t n = 0;
+    for (Node* cur = head_->next.load(); cur != nullptr;
+         cur = cur->next.load()) {
+      n++;
+    }
+    return n;
+  }
+
+ private:
+  enum class OpType { Insert, Remove };
+
+  struct Node {
+    K key;
+    V val;
+    // bit 0: locked; bits 63..1: version (bumped on every mutation of
+    // next/val/unlink).
+    std::atomic<std::uint64_t> verlock{0};
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> unlinked{false};
+    const bool sentinel;
+    const int height;
+    std::atomic<Node*> index_next[kIndexLevels];
+    Node(const K& k, const V& v, int h, bool s = false)
+        : key(k), val(v), sentinel(s), height(h) {
+      for (auto& p : index_next) p.store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  struct Overlay {
+    K key;
+    bool present;
+    V val;
+  };
+
+  struct PendingOp {
+    OpType type;
+    K key;
+    V val;
+    Node* pred;  // position hint from execution time (validated via reads)
+  };
+
+  struct Ctx {
+    bool active = false;
+    std::vector<std::pair<Node*, std::uint64_t>> reads;
+    std::vector<PendingOp> ops;
+    std::vector<Overlay> overlay;
+    std::optional<smr::EBR::Guard> guard;
+
+    /// Record n's version for commit-time validation. Spins past a locked
+    /// state (another commit mid-apply) so the version — captured BEFORE
+    /// the caller reads n's data — brackets a quiescent snapshot. Yields
+    /// periodically: on oversubscribed CPUs the lock holder needs our
+    /// timeslice to make progress.
+    void note_read(Node* n) {
+      std::uint64_t v = n->verlock.load(std::memory_order_acquire);
+      int spins = 0;
+      while (v & 1) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+          spins = 0;
+        } else {
+          util::cpu_relax();
+        }
+        v = n->verlock.load(std::memory_order_acquire);
+      }
+      reads.emplace_back(n, v);
+    }
+    const Overlay* find_overlay(const K& k) const {
+      for (std::size_t i = overlay.size(); i-- > 0;) {
+        if (overlay[i].key == k) return &overlay[i];
+      }
+      return nullptr;
+    }
+    void set_overlay(const K& k, bool present, const V& v) {
+      overlay.push_back({k, present, v});
+    }
+  };
+
+  Ctx& ctx() {
+    const int tid = util::ThreadRegistry::tid();
+    if (!ctxs_[tid]) ctxs_[tid] = std::make_unique<Ctx>();
+    return *ctxs_[tid];
+  }
+
+  template <typename R, typename F>
+  R singleton(F&& f) {
+    for (;;) {
+      txBegin();
+      R r = f();
+      if (txCommit()) return r;
+    }
+  }
+
+  static int height_of(const K& k) {
+    std::uint64_t h = std::hash<K>{}(k) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 31;
+    int lvl = 1 + __builtin_ctzll(h | (1ULL << (kIndexLevels - 1)));
+    return lvl > kIndexLevels ? kIndexLevels : lvl;
+  }
+
+  /// Index-accelerated descent to the bottom-level predecessor of k, then
+  /// a version-recorded bottom walk. The final step captures the
+  /// predecessor's version BEFORE reading its next pointer (seqlock
+  /// order), so a read set entry certifies "pred -> curr was the gap for k
+  /// from this version onward"; commit-time validation extends that to the
+  /// serialization point. Records (pred) — the semantic critical node —
+  /// in the read set.
+  void traverse(const K& k, Node*& pred, Node*& curr, Ctx& c) {
+  restart:
+    Node* p = head_;
+    for (int lvl = kIndexLevels - 1; lvl >= 0; lvl--) {
+      Node* n = p->index_next[lvl].load(std::memory_order_acquire);
+      while (n != nullptr && n->key < k) {
+        p = n;
+        n = p->index_next[lvl].load(std::memory_order_acquire);
+      }
+    }
+    for (;;) {
+      std::uint64_t v = p->verlock.load(std::memory_order_acquire);
+      int spins = 0;
+      while (v & 1) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+          spins = 0;
+        } else {
+          util::cpu_relax();
+        }
+        v = p->verlock.load(std::memory_order_acquire);
+      }
+      if (p->unlinked.load(std::memory_order_acquire)) goto restart;
+      Node* cur = p->next.load(std::memory_order_acquire);
+      if (cur != nullptr && cur->key < k) {
+        p = cur;
+        continue;
+      }
+      pred = p;
+      curr = cur;
+      c.reads.emplace_back(p, v);
+      return;
+    }
+  }
+
+  static bool locked(std::uint64_t vl) { return vl & 1; }
+
+  bool try_lock(Node* n) {
+    std::uint64_t vl = n->verlock.load(std::memory_order_acquire);
+    util::ExpBackoff backoff;
+    for (int spins = 0; spins < 2048; spins++) {
+      if (!locked(vl) &&
+          n->verlock.compare_exchange_weak(vl, vl | 1,
+                                           std::memory_order_acq_rel)) {
+        return true;
+      }
+      backoff();
+      vl = n->verlock.load(std::memory_order_acquire);
+    }
+    return false;  // give up: abort rather than deadlock on a stuck owner
+  }
+
+  void unlock(Node* n, bool modified) {
+    const std::uint64_t vl = n->verlock.load(std::memory_order_relaxed);
+    n->verlock.store(modified ? (vl | 1) + 1 : (vl & ~1ULL),
+                     std::memory_order_release);
+  }
+
+  bool do_commit(Ctx& c) {
+    if (c.ops.empty()) {
+      // Read-only: validate versions once and be done.
+      for (auto& [n, v] : c.reads) {
+        if (n->verlock.load(std::memory_order_acquire) != v) return false;
+      }
+      return true;
+    }
+
+    // Lock set: every op's predecessor plus removal victims, re-located
+    // fresh (the execution-time hints may be stale; validation of the read
+    // set is what detects semantic interference).
+    std::vector<Node*> locks;
+    std::vector<Node*> modified;
+    bool ok = true;
+
+    // Stable: same-key operations must apply in program order (an update
+    // is remove-then-insert of one key).
+    std::stable_sort(c.ops.begin(), c.ops.end(),
+                     [](const PendingOp& a, const PendingOp& b) {
+                       return a.key < b.key;
+                     });
+    for (auto& [n, v] : c.reads) {
+      (void)v;
+      locks.push_back(n);
+    }
+    std::sort(locks.begin(), locks.end());
+    locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+
+    std::size_t acquired = 0;
+    for (; acquired < locks.size(); acquired++) {
+      if (!try_lock(locks[acquired])) {
+        ok = false;
+        break;
+      }
+    }
+
+    if (ok) {
+      // Validate: every recorded version unchanged (lock bit excluded for
+      // nodes we hold).
+      for (auto& [n, v] : c.reads) {
+        const std::uint64_t cur =
+            n->verlock.load(std::memory_order_acquire);
+        if ((cur >> 1) != (v >> 1) || n->unlinked.load()) {
+          ok = false;
+          break;
+        }
+      }
+    }
+
+    std::vector<Node*> retired;
+    if (ok) {
+      // Apply in key order; walks re-run from the locked, validated
+      // predecessors and may traverse nodes created by this transaction.
+      for (const PendingOp& op : c.ops) {
+        // An earlier op of this same transaction may have unlinked the
+        // recorded predecessor (remove of the pred's key): rewalk from the
+        // head — the gap around op.key is still protected by our locks.
+        Node* p = (op.pred != nullptr && !op.pred->unlinked.load())
+                      ? op.pred
+                      : head_;
+        Node* cur = p->next.load(std::memory_order_acquire);
+        while (cur != nullptr && cur->key < op.key) {
+          p = cur;
+          cur = p->next.load(std::memory_order_acquire);
+        }
+        if (op.type == OpType::Insert) {
+          if (cur != nullptr && cur->key == op.key) {
+            ok = false;  // key appeared: semantic conflict slipped through
+            break;
+          }
+          Node* node = new Node(op.key, op.val, height_of(op.key));
+          node->next.store(cur, std::memory_order_relaxed);
+          p->next.store(node, std::memory_order_release);
+          modified.push_back(p);
+          index_insert_.push_back(node);
+        } else {
+          if (cur == nullptr || !(cur->key == op.key)) {
+            ok = false;
+            break;
+          }
+          p->next.store(cur->next.load(std::memory_order_acquire),
+                        std::memory_order_release);
+          cur->unlinked.store(true, std::memory_order_release);
+          modified.push_back(p);
+          modified.push_back(cur);
+          retired.push_back(cur);
+        }
+      }
+    }
+
+    // Unlock (bumping versions of modified nodes).
+    std::sort(modified.begin(), modified.end());
+    modified.erase(std::unique(modified.begin(), modified.end()),
+                   modified.end());
+    for (std::size_t i = 0; i < acquired; i++) {
+      Node* n = locks[i];
+      const bool was_modified =
+          std::binary_search(modified.begin(), modified.end(), n);
+      unlock(n, was_modified);
+    }
+    // Version-bump modified nodes we did not have in the lock set (newly
+    // discovered victims/preds from the apply walk).
+    for (Node* n : modified) {
+      if (!std::binary_search(locks.begin(), locks.begin() + static_cast<long>(acquired), n)) {
+        n->verlock.fetch_add(2, std::memory_order_acq_rel);
+      }
+    }
+
+    if (ok) {
+      maintain_index(retired);
+    } else {
+      index_insert_.clear();
+    }
+    return ok;
+  }
+
+  /// Lazy index maintenance (outside the transactional critical path, as
+  /// in TDSL): link fresh towers, purge removed nodes, retire them.
+  void maintain_index(const std::vector<Node*>& removed) {
+    std::lock_guard<std::mutex> g(index_mutex_);
+    for (Node* n : removed) {
+      for (int lvl = 0; lvl < kIndexLevels; lvl++) {
+        Node* p = head_;
+        while (p != nullptr) {
+          Node* nx = p->index_next[lvl].load(std::memory_order_relaxed);
+          if (nx == n) {
+            p->index_next[lvl].store(
+                n->index_next[lvl].load(std::memory_order_relaxed),
+                std::memory_order_release);
+            break;
+          }
+          if (nx == nullptr || n->key < nx->key) break;
+          p = nx;
+        }
+      }
+    }
+    for (Node* n : index_insert_) {
+      if (n->unlinked.load()) continue;
+      for (int lvl = 0; lvl < n->height; lvl++) {
+        Node* p = head_;
+        Node* nx = p->index_next[lvl].load(std::memory_order_relaxed);
+        while (nx != nullptr && nx->key < n->key) {
+          p = nx;
+          nx = p->index_next[lvl].load(std::memory_order_relaxed);
+        }
+        if (nx == n) continue;  // already linked
+        n->index_next[lvl].store(nx, std::memory_order_relaxed);
+        p->index_next[lvl].store(n, std::memory_order_release);
+      }
+    }
+    index_insert_.clear();
+    auto& ebr = smr::EBR::instance();
+    for (Node* n : removed) ebr.retire(n);
+  }
+
+  Node* head_;
+  std::mutex index_mutex_;
+  // Per-commit scratch: nodes inserted by the transaction being committed
+  // (thread-confined between apply and maintain_index).
+  thread_local static std::vector<Node*> index_insert_;
+  std::unique_ptr<Ctx> ctxs_[util::ThreadRegistry::kMaxThreads];
+};
+
+template <typename K, typename V, int kIndexLevels>
+thread_local std::vector<typename TdslSkiplist<K, V, kIndexLevels>::Node*>
+    TdslSkiplist<K, V, kIndexLevels>::index_insert_;
+
+}  // namespace medley::stm

@@ -1,0 +1,213 @@
+#pragma once
+// TPC-C backends: one adapter per transactional system, all exposing the
+// same surface to the generic workload (tpcc_workload.hpp):
+//
+//   Map& warehouse()/district()/customer()/stock()/item()/order()/
+//        neworder()/orderline()/history()       — maps u64 -> u64 with
+//                                                 get/insert/remove
+//   bool run_tx(F f)  — execute f as one transaction attempt; true iff it
+//                       committed (the caller retries on false). Systems
+//                       with internal retry (OneFile) always return true.
+//
+// Backend notes mirroring the paper's setup (Sec. 6.1):
+//  * Medley / txMontage: each table is its own NBTC skiplist; operations
+//    compose dynamically across all of them in one MCNS transaction.
+//  * OneFile: sequential skiplists under the STM; the whole TPC-C
+//    transaction is one updateTx lambda.
+//  * TDSL: the published library scopes a transaction to its structures'
+//    shared version clock; we back all tables with ONE transactional
+//    skiplist, namespacing keys by a table tag — the standard way to run
+//    multi-table workloads on it.
+
+#include <functional>
+
+#include "ds/fraser_skiplist.hpp"
+#include "montage/txmontage.hpp"
+#include "stm/onefile.hpp"
+#include "stm/onefile_map.hpp"
+#include "stm/tdsl_skiplist.hpp"
+#include "tpcc/tpcc_types.hpp"
+
+namespace medley::tpcc {
+
+// ---- Medley -------------------------------------------------------------
+
+class MedleyBackend {
+ public:
+  using Map = ds::FraserSkiplist<std::uint64_t, std::uint64_t>;
+
+  MedleyBackend()
+      : warehouse_(&mgr), district_(&mgr), customer_(&mgr), stock_(&mgr),
+        item_(&mgr), order_(&mgr), neworder_(&mgr), orderline_(&mgr),
+        history_(&mgr) {}
+
+  static constexpr const char* name() { return "Medley"; }
+
+  template <typename F>
+  bool run_tx(F&& f) {
+    try {
+      mgr.txBegin();
+      f();
+      mgr.txEnd();
+      return true;
+    } catch (const core::TransactionAborted&) {
+      return false;
+    }
+  }
+
+  Map& warehouse() { return warehouse_; }
+  Map& district() { return district_; }
+  Map& customer() { return customer_; }
+  Map& stock() { return stock_; }
+  Map& item() { return item_; }
+  Map& order() { return order_; }
+  Map& neworder() { return neworder_; }
+  Map& orderline() { return orderline_; }
+  Map& history() { return history_; }
+
+  core::TxManager mgr;
+
+ private:
+  Map warehouse_, district_, customer_, stock_, item_, order_, neworder_,
+      orderline_, history_;
+};
+
+// ---- txMontage ------------------------------------------------------------
+
+class TxMontageBackend {
+ public:
+  using Map = montage::TxMontageSkiplist;
+
+  TxMontageBackend(montage::PRegion* region)
+      : es(region), warehouse_(&mgr, &es, 1), district_(&mgr, &es, 2),
+        customer_(&mgr, &es, 3), stock_(&mgr, &es, 4), item_(&mgr, &es, 5),
+        order_(&mgr, &es, 6), neworder_(&mgr, &es, 7),
+        orderline_(&mgr, &es, 8), history_(&mgr, &es, 9) {
+    es.attach(&mgr);
+  }
+
+  static constexpr const char* name() { return "txMontage"; }
+
+  template <typename F>
+  bool run_tx(F&& f) {
+    try {
+      mgr.txBegin();
+      f();
+      mgr.txEnd();
+      return true;
+    } catch (const core::TransactionAborted&) {
+      return false;
+    }
+  }
+
+  Map& warehouse() { return warehouse_; }
+  Map& district() { return district_; }
+  Map& customer() { return customer_; }
+  Map& stock() { return stock_; }
+  Map& item() { return item_; }
+  Map& order() { return order_; }
+  Map& neworder() { return neworder_; }
+  Map& orderline() { return orderline_; }
+  Map& history() { return history_; }
+
+  core::TxManager mgr;
+  montage::EpochSys es;
+
+ private:
+  Map warehouse_, district_, customer_, stock_, item_, order_, neworder_,
+      orderline_, history_;
+};
+
+// ---- OneFile --------------------------------------------------------------
+
+class OneFileBackend {
+ public:
+  using Map = stm::OFSkipList<std::uint64_t, std::uint64_t>;
+
+  explicit OneFileBackend(bool persistent = false)
+      : stm(persistent), warehouse_(&stm), district_(&stm), customer_(&stm),
+        stock_(&stm), item_(&stm), order_(&stm), neworder_(&stm),
+        orderline_(&stm), history_(&stm) {}
+
+  static constexpr const char* name() { return "OneFile"; }
+
+  template <typename F>
+  bool run_tx(F&& f) {
+    stm.updateTx([&] { f(); });
+    return true;  // internal retry until committed
+  }
+
+  Map& warehouse() { return warehouse_; }
+  Map& district() { return district_; }
+  Map& customer() { return customer_; }
+  Map& stock() { return stock_; }
+  Map& item() { return item_; }
+  Map& order() { return order_; }
+  Map& neworder() { return neworder_; }
+  Map& orderline() { return orderline_; }
+  Map& history() { return history_; }
+
+  stm::OneFileSTM stm;
+
+ private:
+  Map warehouse_, district_, customer_, stock_, item_, order_, neworder_,
+      orderline_, history_;
+};
+
+// ---- TDSL ------------------------------------------------------------------
+
+class TdslBackend {
+  using Skiplist = stm::TdslSkiplist<std::uint64_t, std::uint64_t>;
+
+ public:
+  /// View of the shared skiplist restricted to one table's key namespace.
+  class Map {
+   public:
+    Map(Skiplist* s, std::uint64_t tag) : s_(s), tag_(tag << 58) {}
+    std::optional<std::uint64_t> get(std::uint64_t k) {
+      return s_->get(tag_ | k);
+    }
+    bool insert(std::uint64_t k, std::uint64_t v) {
+      return s_->insert(tag_ | k, v);
+    }
+    std::optional<std::uint64_t> remove(std::uint64_t k) {
+      return s_->remove(tag_ | k);
+    }
+
+   private:
+    Skiplist* s_;
+    std::uint64_t tag_;
+  };
+
+  TdslBackend()
+      : warehouse_(&shared_, 1), district_(&shared_, 2),
+        customer_(&shared_, 3), stock_(&shared_, 4), item_(&shared_, 5),
+        order_(&shared_, 6), neworder_(&shared_, 7), orderline_(&shared_, 8),
+        history_(&shared_, 9) {}
+
+  static constexpr const char* name() { return "TDSL"; }
+
+  template <typename F>
+  bool run_tx(F&& f) {
+    shared_.txBegin();
+    f();
+    return shared_.txCommit();
+  }
+
+  Map& warehouse() { return warehouse_; }
+  Map& district() { return district_; }
+  Map& customer() { return customer_; }
+  Map& stock() { return stock_; }
+  Map& item() { return item_; }
+  Map& order() { return order_; }
+  Map& neworder() { return neworder_; }
+  Map& orderline() { return orderline_; }
+  Map& history() { return history_; }
+
+ private:
+  Skiplist shared_;
+  Map warehouse_, district_, customer_, stock_, item_, order_, neworder_,
+      orderline_, history_;
+};
+
+}  // namespace medley::tpcc

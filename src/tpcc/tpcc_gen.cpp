@@ -1,0 +1,11 @@
+#include "tpcc/tpcc_gen.hpp"
+
+namespace medley::tpcc {
+
+std::uint64_t Generator::nurand(std::uint64_t A, std::uint64_t x) {
+  const std::uint64_t a = rng_.next_bounded(A + 1);
+  const std::uint64_t b = rng_.next_bounded(x);
+  return (((a | b) + c_) % x);
+}
+
+}  // namespace medley::tpcc

@@ -1,0 +1,58 @@
+#pragma once
+// TPC-C input generation: NURand non-uniform selection (spec clause
+// 2.1.6), district/customer/item pickers, order-line counts.
+
+#include <cstdint>
+
+#include "tpcc/tpcc_types.hpp"
+#include "util/rng.hpp"
+
+namespace medley::tpcc {
+
+class Generator {
+ public:
+  Generator(const Scale& scale, std::uint64_t seed)
+      : scale_(scale), rng_(seed) {}
+
+  /// TPC-C NURand(A, 0, x-1): non-uniform over [0, x).
+  std::uint64_t nurand(std::uint64_t A, std::uint64_t x);
+
+  std::uint64_t warehouse() { return rng_.next_bounded(scale_.warehouses); }
+  std::uint64_t district() {
+    return rng_.next_bounded(scale_.districts_per_wh);
+  }
+  std::uint64_t customer() {
+    return nurand(1023, scale_.customers_per_district);
+  }
+  std::uint64_t item() { return nurand(8191, scale_.items); }
+
+  /// 5..15 order lines (spec 2.4.1.3).
+  std::uint64_t ol_count() { return 5 + rng_.next_bounded(11); }
+
+  /// 1..10 quantity.
+  std::uint64_t quantity() { return 1 + rng_.next_bounded(10); }
+
+  /// Payment amount, cents: 1.00 .. 50.00.
+  std::uint64_t h_amount() { return 100 + rng_.next_bounded(4901); }
+
+  /// 1% of newOrder payments hit a remote warehouse when W > 1
+  /// (simplified from spec 2.4.1.5's 1% remote item supply).
+  std::uint64_t supply_warehouse(std::uint64_t home) {
+    if (scale_.warehouses > 1 && rng_.next_bounded(100) == 0) {
+      std::uint64_t w = rng_.next_bounded(scale_.warehouses - 1);
+      return w >= home ? w + 1 : w;
+    }
+    return home;
+  }
+
+  bool coin() { return rng_.next() & 1; }
+
+  util::Xoshiro256& rng() { return rng_; }
+
+ private:
+  const Scale scale_;
+  util::Xoshiro256 rng_;
+  std::uint64_t c_ = 0x3f;  // NURand C constant (any value per spec)
+};
+
+}  // namespace medley::tpcc

@@ -1,0 +1,145 @@
+#pragma once
+// TPC-C subset types (paper Sec. 6.1: newOrder + payment in a 1:1 mix,
+// following DBx1000's configuration; no range queries). Tables are keyed
+// maps from composite 64-bit keys to packed 64-bit row values — the same
+// representation for every backend so the comparison is apples-to-apples.
+//
+// Scale is configurable and defaults well below the official spec (this
+// is a concurrency benchmark, not a storage benchmark); the official
+// ratios (10 districts per warehouse, NURand customer/item selection,
+// 5-15 order lines) are preserved.
+
+#include <cstdint>
+
+namespace medley::tpcc {
+
+struct Scale {
+  std::uint64_t warehouses = 2;
+  std::uint64_t districts_per_wh = 10;
+  std::uint64_t customers_per_district = 300;
+  std::uint64_t items = 1000;
+};
+
+// ---- composite keys ----------------------------------------------------
+
+inline std::uint64_t wh_key(std::uint64_t w) { return w; }
+
+inline std::uint64_t district_key(std::uint64_t w, std::uint64_t d) {
+  return (w << 8) | d;
+}
+
+inline std::uint64_t customer_key(std::uint64_t w, std::uint64_t d,
+                                  std::uint64_t c) {
+  return (w << 24) | (d << 16) | c;
+}
+
+inline std::uint64_t item_key(std::uint64_t i) { return i; }
+
+inline std::uint64_t stock_key(std::uint64_t w, std::uint64_t i) {
+  return (w << 24) | i;
+}
+
+inline std::uint64_t order_key(std::uint64_t w, std::uint64_t d,
+                               std::uint64_t o) {
+  return (w << 40) | (d << 32) | o;
+}
+
+inline std::uint64_t orderline_key(std::uint64_t w, std::uint64_t d,
+                                   std::uint64_t o, std::uint64_t l) {
+  return (w << 44) | (d << 36) | (o << 4) | l;
+}
+
+inline std::uint64_t history_key(std::uint64_t w, std::uint64_t d,
+                                 std::uint64_t tid, std::uint64_t seq) {
+  return (w << 48) | (d << 40) | (tid << 28) | seq;
+}
+
+// ---- packed row values ---------------------------------------------------
+// All money amounts are in cents.
+
+/// Warehouse: year-to-date total.
+struct WarehouseRow {
+  std::uint64_t ytd;
+  std::uint64_t pack() const { return ytd; }
+  static WarehouseRow unpack(std::uint64_t v) { return {v}; }
+};
+
+/// District: next order id (low 32) + ytd (high 32).
+struct DistrictRow {
+  std::uint32_t next_o_id;
+  std::uint32_t ytd;
+  std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(ytd) << 32) | next_o_id;
+  }
+  static DistrictRow unpack(std::uint64_t v) {
+    return {static_cast<std::uint32_t>(v),
+            static_cast<std::uint32_t>(v >> 32)};
+  }
+};
+
+/// Customer: balance (signed, low 48) + payment count (high 16).
+struct CustomerRow {
+  std::int64_t balance;  // cents; kept within 47 bits by the workload
+  std::uint16_t payment_cnt;
+  std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(payment_cnt) << 48) |
+           (static_cast<std::uint64_t>(balance + (1LL << 46)) &
+            ((1ULL << 48) - 1));
+  }
+  static CustomerRow unpack(std::uint64_t v) {
+    return {static_cast<std::int64_t>(v & ((1ULL << 48) - 1)) -
+                (1LL << 46),
+            static_cast<std::uint16_t>(v >> 48)};
+  }
+};
+
+/// Stock: quantity (low 32) + ytd quantity (high 32).
+struct StockRow {
+  std::uint32_t quantity;
+  std::uint32_t ytd;
+  std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(ytd) << 32) | quantity;
+  }
+  static StockRow unpack(std::uint64_t v) {
+    return {static_cast<std::uint32_t>(v),
+            static_cast<std::uint32_t>(v >> 32)};
+  }
+};
+
+/// Item: price in cents (immutable after load).
+struct ItemRow {
+  std::uint64_t price;
+  std::uint64_t pack() const { return price; }
+  static ItemRow unpack(std::uint64_t v) { return {v}; }
+};
+
+/// Order: customer id (low 24) + line count (next 8).
+struct OrderRow {
+  std::uint32_t c_id;
+  std::uint8_t ol_cnt;
+  std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(ol_cnt) << 24) | c_id;
+  }
+  static OrderRow unpack(std::uint64_t v) {
+    return {static_cast<std::uint32_t>(v & 0xffffff),
+            static_cast<std::uint8_t>(v >> 24)};
+  }
+};
+
+/// Order line: item id (low 24) + quantity (8) + amount in cents (32).
+struct OrderLineRow {
+  std::uint32_t i_id;
+  std::uint8_t quantity;
+  std::uint32_t amount;
+  std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(amount) << 32) |
+           (static_cast<std::uint64_t>(quantity) << 24) | i_id;
+  }
+  static OrderLineRow unpack(std::uint64_t v) {
+    return {static_cast<std::uint32_t>(v & 0xffffff),
+            static_cast<std::uint8_t>((v >> 24) & 0xff),
+            static_cast<std::uint32_t>(v >> 32)};
+  }
+};
+
+}  // namespace medley::tpcc

@@ -1,0 +1,224 @@
+#pragma once
+// TPC-C workload, generic over the backend adapter: table loading, the
+// newOrder and payment transactions (paper Sec. 6.1: these two in a 1:1
+// mix, following DBx1000; no range queries), and consistency audits used
+// by the tests (TPC-C spec clause 3.3.2 invariants, adapted to the
+// subset).
+//
+// Row updates are expressed as remove+insert of the packed row — i.e.
+// every update is a composition of two structure operations, executed
+// atomically by whichever transactional system backs the tables.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "tpcc/tpcc_gen.hpp"
+#include "tpcc/tpcc_types.hpp"
+
+namespace medley::tpcc {
+
+template <typename Backend>
+class Workload {
+ public:
+  Workload(Backend& b, const Scale& scale) : b_(b), scale_(scale) {}
+
+  /// Populate warehouses/districts/customers/items/stock (single thread;
+  /// each row insert runs as its own transaction).
+  void load() {
+    util::Xoshiro256 rng(0xdecafbad);
+    for (std::uint64_t w = 0; w < scale_.warehouses; w++) {
+      run_until_committed([&] {
+        b_.warehouse().insert(wh_key(w), WarehouseRow{0}.pack());
+      });
+      for (std::uint64_t d = 0; d < scale_.districts_per_wh; d++) {
+        run_until_committed([&] {
+          b_.district().insert(district_key(w, d),
+                               DistrictRow{1, 0}.pack());
+        });
+        for (std::uint64_t c = 0; c < scale_.customers_per_district; c++) {
+          run_until_committed([&] {
+            b_.customer().insert(customer_key(w, d, c),
+                                 CustomerRow{0, 0}.pack());
+          });
+        }
+      }
+      for (std::uint64_t i = 0; i < scale_.items; i++) {
+        run_until_committed([&] {
+          b_.stock().insert(stock_key(w, i),
+                            StockRow{static_cast<std::uint32_t>(
+                                         10 + rng.next_bounded(91)),
+                                     0}
+                                .pack());
+        });
+      }
+    }
+    for (std::uint64_t i = 0; i < scale_.items; i++) {
+      run_until_committed([&] {
+        b_.item().insert(item_key(i),
+                         ItemRow{100 + rng.next_bounded(9900)}.pack());
+      });
+    }
+  }
+
+  /// One newOrder attempt; false means the transaction aborted (caller
+  /// decides whether to retry — the benchmark counts aborts).
+  bool new_order(Generator& gen) {
+    const std::uint64_t w = gen.warehouse();
+    const std::uint64_t d = gen.district();
+    const std::uint64_t c = gen.customer();
+    const std::uint64_t n = gen.ol_count();
+    std::uint64_t items[15], qty[15], supply[15];
+    for (std::uint64_t l = 0; l < n; l++) {
+      // Distinct items per order (spec 2.4.1.5).
+      for (;;) {
+        items[l] = gen.item();
+        bool dup = false;
+        for (std::uint64_t j = 0; j < l; j++) dup |= (items[j] == items[l]);
+        if (!dup) break;
+      }
+      qty[l] = gen.quantity();
+      supply[l] = gen.supply_warehouse(w);
+    }
+
+    return b_.run_tx([&] {
+      const std::uint64_t dkey = district_key(w, d);
+      auto drow = DistrictRow::unpack(must(b_.district().get(dkey)));
+      const std::uint64_t o_id = drow.next_o_id;
+      drow.next_o_id++;
+      update(b_.district(), dkey, drow.pack());
+
+      std::uint64_t total = 0;
+      for (std::uint64_t l = 0; l < n; l++) {
+        const auto irow =
+            ItemRow::unpack(must(b_.item().get(item_key(items[l]))));
+        const std::uint64_t skey = stock_key(supply[l], items[l]);
+        auto srow = StockRow::unpack(must(b_.stock().get(skey)));
+        srow.quantity = srow.quantity >= qty[l] + 10
+                            ? srow.quantity - static_cast<std::uint32_t>(qty[l])
+                            : srow.quantity + 91 -
+                                  static_cast<std::uint32_t>(qty[l]);
+        srow.ytd += static_cast<std::uint32_t>(qty[l]);
+        update(b_.stock(), skey, srow.pack());
+
+        const std::uint64_t amount = irow.price * qty[l];
+        total += amount;
+        b_.orderline().insert(
+            orderline_key(w, d, o_id, l),
+            OrderLineRow{static_cast<std::uint32_t>(items[l]),
+                         static_cast<std::uint8_t>(qty[l]),
+                         static_cast<std::uint32_t>(amount)}
+                .pack());
+      }
+      (void)total;
+      b_.order().insert(order_key(w, d, o_id),
+                        OrderRow{static_cast<std::uint32_t>(c),
+                                 static_cast<std::uint8_t>(n)}
+                            .pack());
+      b_.neworder().insert(order_key(w, d, o_id), 1);
+    });
+  }
+
+  /// One payment attempt.
+  bool payment(Generator& gen, std::uint64_t tid, std::uint64_t& hseq) {
+    const std::uint64_t w = gen.warehouse();
+    const std::uint64_t d = gen.district();
+    const std::uint64_t c = gen.customer();
+    const std::uint64_t amount = gen.h_amount();
+    const std::uint64_t seq = hseq;
+
+    const bool committed = b_.run_tx([&] {
+      const std::uint64_t wkey = wh_key(w);
+      auto wrow = WarehouseRow::unpack(must(b_.warehouse().get(wkey)));
+      wrow.ytd += amount;
+      update(b_.warehouse(), wkey, wrow.pack());
+
+      const std::uint64_t dkey = district_key(w, d);
+      auto drow = DistrictRow::unpack(must(b_.district().get(dkey)));
+      drow.ytd += static_cast<std::uint32_t>(amount);
+      update(b_.district(), dkey, drow.pack());
+
+      const std::uint64_t ckey = customer_key(w, d, c);
+      auto crow = CustomerRow::unpack(must(b_.customer().get(ckey)));
+      crow.balance -= static_cast<std::int64_t>(amount);
+      crow.payment_cnt++;
+      update(b_.customer(), ckey, crow.pack());
+
+      b_.history().insert(history_key(w, d, tid, seq), amount);
+    });
+    if (committed) hseq++;
+    return committed;
+  }
+
+  // ---- consistency audits (tests; quiescent) ---------------------------
+
+  /// Spec 3.3.2.1-ish: district next_o_id agrees with the orders and
+  /// order lines present.
+  bool orders_consistent() {
+    for (std::uint64_t w = 0; w < scale_.warehouses; w++) {
+      for (std::uint64_t d = 0; d < scale_.districts_per_wh; d++) {
+        const auto drow = DistrictRow::unpack(
+            must(b_.district().get(district_key(w, d))));
+        for (std::uint64_t o = 1; o < drow.next_o_id; o++) {
+          auto orow = b_.order().get(order_key(w, d, o));
+          if (!orow) return false;
+          const auto order = OrderRow::unpack(*orow);
+          if (!b_.neworder().get(order_key(w, d, o))) return false;
+          for (std::uint64_t l = 0; l < order.ol_cnt; l++) {
+            if (!b_.orderline().get(orderline_key(w, d, o, l))) return false;
+          }
+          // No extra order line beyond ol_cnt.
+          if (b_.orderline().get(orderline_key(w, d, o, order.ol_cnt))) {
+            return false;
+          }
+        }
+        if (b_.order().get(order_key(w, d, drow.next_o_id))) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Money conservation: sum of warehouse ytd == sum of district ytd ==
+  /// total of history rows == -(sum of customer balances).
+  bool money_consistent(std::uint64_t history_total) {
+    std::uint64_t w_ytd = 0, d_ytd = 0;
+    std::int64_t balances = 0;
+    for (std::uint64_t w = 0; w < scale_.warehouses; w++) {
+      w_ytd += WarehouseRow::unpack(must(b_.warehouse().get(wh_key(w)))).ytd;
+      for (std::uint64_t d = 0; d < scale_.districts_per_wh; d++) {
+        d_ytd += DistrictRow::unpack(
+                     must(b_.district().get(district_key(w, d))))
+                     .ytd;
+        for (std::uint64_t c = 0; c < scale_.customers_per_district; c++) {
+          balances += CustomerRow::unpack(
+                          must(b_.customer().get(customer_key(w, d, c))))
+                          .balance;
+        }
+      }
+    }
+    return w_ytd == history_total && d_ytd == history_total &&
+           balances == -static_cast<std::int64_t>(history_total);
+  }
+
+ private:
+  template <typename F>
+  void run_until_committed(F&& f) {
+    while (!b_.run_tx(f)) {
+    }
+  }
+
+  template <typename M>
+  static void update(M& m, std::uint64_t k, std::uint64_t v) {
+    m.remove(k);
+    m.insert(k, v);
+  }
+
+  static std::uint64_t must(const std::optional<std::uint64_t>& v) {
+    if (!v) throw std::logic_error("TPC-C: required row missing");
+    return *v;
+  }
+
+  Backend& b_;
+  const Scale scale_;
+};
+
+}  // namespace medley::tpcc

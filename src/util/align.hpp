@@ -1,0 +1,38 @@
+#pragma once
+// Cache-line geometry helpers shared by every concurrent module.
+//
+// All hot shared words in Medley are padded to a cache line to avoid false
+// sharing; per-thread slots in global arrays use Padded<T> so that two
+// threads never contend on the same line for unrelated data.
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace medley::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// T padded out to a whole number of cache lines.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Guarantee the footprint even when sizeof(T) is a multiple of the line.
+  char pad_[kCacheLine - (sizeof(T) % kCacheLine ? sizeof(T) % kCacheLine
+                                                 : kCacheLine)]{};
+};
+
+static_assert(sizeof(Padded<char>) == kCacheLine);
+static_assert(alignof(Padded<char>) == kCacheLine);
+
+}  // namespace medley::util

@@ -1,0 +1,91 @@
+#pragma once
+// 128-bit atomic word built on x86-64 cmpxchg16b (compiled with -mcx16).
+//
+// Medley's CASObj augments every CAS-able 64-bit field with a 64-bit counter
+// (Sec. 3.2 of the paper); the {value, counter} pair must change together,
+// atomically, which requires a double-width CAS. We wrap the GCC __atomic
+// builtins over unsigned __int128 rather than std::atomic<__int128> so the
+// code is explicit about width and memory order at every call site.
+
+#include <atomic>
+#include <cstdint>
+
+namespace medley::util {
+
+/// A pair of 64-bit words manipulated as one 128-bit atomic unit.
+/// `lo` carries the value (or descriptor pointer); `hi` carries the counter.
+struct U128 {
+  std::uint64_t lo{0};
+  std::uint64_t hi{0};
+
+  friend bool operator==(const U128& a, const U128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+class Atomic128 {
+ public:
+  Atomic128() noexcept : raw_(0) {}
+  explicit Atomic128(U128 v) noexcept : raw_(pack(v)) {}
+
+  /// Atomic 128-bit read.
+  ///
+  /// Default: __atomic_load_16, which libatomic resolves (via ifunc) to a
+  /// single 16-byte load on CPUs that guarantee its atomicity — the fast
+  /// path on every recent x86-64 part, and what the traversal hot loops
+  /// want.
+  ///
+  /// Fallback (-DMEDLEY_SEQLOCK_LOAD): on machines where load_16 lowers
+  /// to a bus-locked CMPXCHG16B, exploit the codebase-wide invariant that
+  /// every Atomic128 writer bumps the strictly monotonic `hi`
+  /// counter/sequence word whenever `lo` changes: two 64-bit acquire
+  /// loads of hi bracketing a load of lo certify an untorn snapshot
+  /// (equal hi values mean the pair did not change in between).
+  U128 load(int order = __ATOMIC_ACQUIRE) const noexcept {
+#ifdef MEDLEY_SEQLOCK_LOAD
+    (void)order;
+    const auto* words =
+        reinterpret_cast<const std::atomic<std::uint64_t>*>(&raw_);
+    for (;;) {
+      const std::uint64_t h1 = words[1].load(std::memory_order_acquire);
+      const std::uint64_t lo = words[0].load(std::memory_order_acquire);
+      const std::uint64_t h2 = words[1].load(std::memory_order_acquire);
+      if (h1 == h2) return U128{lo, h1};
+    }
+#else
+    return unpack(__atomic_load_n(&raw_, order));
+#endif
+  }
+
+  void store(U128 v, int order = __ATOMIC_RELEASE) noexcept {
+    __atomic_store_n(&raw_, pack(v), order);
+  }
+
+  /// Single-shot 128-bit compare-exchange. Returns true on success; on
+  /// failure `expected` is updated with the observed contents.
+  bool compare_exchange(U128& expected, U128 desired,
+                        int success = __ATOMIC_ACQ_REL,
+                        int failure = __ATOMIC_ACQUIRE) noexcept {
+    unsigned __int128 exp = pack(expected);
+    bool ok = __atomic_compare_exchange_n(&raw_, &exp, pack(desired),
+                                          /*weak=*/false, success, failure);
+    if (!ok) expected = unpack(exp);
+    return ok;
+  }
+
+ private:
+  static unsigned __int128 pack(U128 v) noexcept {
+    return (static_cast<unsigned __int128>(v.hi) << 64) | v.lo;
+  }
+  static U128 unpack(unsigned __int128 r) noexcept {
+    return U128{static_cast<std::uint64_t>(r),
+                static_cast<std::uint64_t>(r >> 64)};
+  }
+
+  alignas(16) mutable unsigned __int128 raw_;
+};
+
+static_assert(sizeof(Atomic128) == 16);
+static_assert(alignof(Atomic128) == 16);
+
+}  // namespace medley::util

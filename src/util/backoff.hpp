@@ -1,0 +1,47 @@
+#pragma once
+// Bounded exponential backoff used by retry loops (transaction retry after
+// abort, CAS retry under contention). Spins with `pause` to be polite to the
+// sibling hyperthread; yields once the spin budget is large so oversubscribed
+// runs (more threads than cores) keep making progress.
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace medley::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class ExpBackoff {
+ public:
+  explicit ExpBackoff(std::uint32_t min_spins = 4,
+                      std::uint32_t max_spins = 1024) noexcept
+      : cur_(min_spins), min_(min_spins), max_(max_spins) {}
+
+  void operator()() noexcept {
+    if (cur_ >= max_) {
+      // Past the spin budget: let the scheduler run somebody else. This is
+      // what keeps obstruction-free retry loops live on oversubscribed CPUs.
+      std::this_thread::yield();
+    } else {
+      for (std::uint32_t i = 0; i < cur_; i++) cpu_relax();
+      cur_ *= 2;
+    }
+  }
+
+  void reset() noexcept { cur_ = min_; }
+
+ private:
+  std::uint32_t cur_, min_, max_;
+};
+
+}  // namespace medley::util

@@ -1,0 +1,49 @@
+#pragma once
+// Cache-line write-back primitives used by the persistence layers
+// (txMontage's epoch system and the persistent OneFile baseline).
+//
+// On this machine clwb/clflushopt are real instructions; we execute them
+// against the mapped heap/file pages, so the *relative* cost of eager
+// (per-store) versus batched (epoch-boundary) write-back — the phenomenon
+// Fig. 7/8/10 of the paper measure — is reproduced with genuine hardware
+// latencies even though the backing medium is DRAM (see DESIGN.md §4).
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace medley::util {
+
+inline constexpr std::size_t kFlushLine = 64;
+
+/// Write back one cache line containing `p` (clwb: keeps the line valid).
+inline void clwb(const void* p) noexcept {
+#if defined(__x86_64__) && defined(__CLWB__)
+  _mm_clwb(const_cast<void*>(p));
+#elif defined(__x86_64__)
+  __builtin_ia32_clflushopt(const_cast<void*>(p));
+#else
+  (void)p;
+#endif
+}
+
+/// Order all previous write-backs (store fence).
+inline void sfence() noexcept {
+#if defined(__x86_64__)
+  _mm_sfence();
+#endif
+}
+
+/// Write back an address range, line by line.
+inline void flush_range(const void* p, std::size_t bytes) noexcept {
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t end = addr + bytes;
+  for (addr &= ~(kFlushLine - 1); addr < end; addr += kFlushLine) {
+    clwb(reinterpret_cast<const void*>(addr));
+  }
+}
+
+}  // namespace medley::util

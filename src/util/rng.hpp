@@ -1,0 +1,105 @@
+#pragma once
+// Small fast RNGs for workload generation. Not cryptographic.
+//
+// xoshiro256** for the main stream (passes BigCrush), splitmix64 for seeding,
+// plus the Zipf sampler used by contention ablations (rejection-inversion,
+// after W. Hörmann & G. Derflinger).
+
+#include <cmath>
+#include <cstdint>
+
+namespace medley::util {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Debiased via Lemire's multiply-shift rejection.
+  std::uint64_t next_bounded(std::uint64_t bound) noexcept {
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Zipf(theta) sampler over [0, n). theta = 0 degenerates to uniform.
+/// Uses the classic Gray/CLRS power-law inversion with precomputed zeta.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t next() noexcept {
+    if (theta_ <= 0.0) return rng_.next_bounded(n_);
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; i++)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  Xoshiro256 rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace medley::util

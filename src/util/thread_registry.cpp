@@ -1,0 +1,59 @@
+#include "util/thread_registry.hpp"
+
+#include <atomic>
+
+#include "util/align.hpp"
+
+namespace medley::util {
+namespace {
+
+std::atomic<bool> g_used[ThreadRegistry::kMaxThreads];
+std::atomic<int> g_high_water{0};
+
+int acquire_slot() {
+  for (;;) {
+    for (int i = 0; i < ThreadRegistry::kMaxThreads; i++) {
+      bool expected = false;
+      if (!g_used[i].load(std::memory_order_relaxed) &&
+          g_used[i].compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        int hw = g_high_water.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !g_high_water.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_acq_rel)) {
+        }
+        return i;
+      }
+    }
+    // All 256 slots busy: extremely unlikely outside a leak; spin until a
+    // thread exits and returns its slot.
+  }
+}
+
+struct Lease {
+  int id = -1;
+  ~Lease() {
+    if (id >= 0) g_used[id].store(false, std::memory_order_release);
+  }
+};
+
+thread_local Lease t_lease;
+
+}  // namespace
+
+int ThreadRegistry::tid() {
+  if (t_lease.id < 0) t_lease.id = acquire_slot();
+  return t_lease.id;
+}
+
+int ThreadRegistry::max_tid() {
+  return g_high_water.load(std::memory_order_acquire);
+}
+
+void ThreadRegistry::release_current() {
+  if (t_lease.id >= 0) {
+    g_used[t_lease.id].store(false, std::memory_order_release);
+    t_lease.id = -1;
+  }
+}
+
+}  // namespace medley::util

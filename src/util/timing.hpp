@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock helpers for the benchmark harness and epoch advancer.
+
+#include <chrono>
+#include <cstdint>
+
+namespace medley::util {
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple stopwatch: elapsed nanoseconds since construction or reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace medley::util

@@ -1,0 +1,211 @@
+// Transactional boosting (paper Sec. 3.1): semantic locks, inverse-based
+// rollback, composition of a boosted lock-based map with NBTC structures
+// in one Medley transaction, and deadlock avoidance via bounded lock
+// acquisition.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/boosting.hpp"
+#include "ds/boosted_map.hpp"
+#include "ds/michael_hashtable.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::TransactionAborted;
+using medley::TxManager;
+using medley::core::AbstractLockTable;
+using BMap = medley::ds::BoostedHashMap<std::uint64_t, std::uint64_t>;
+
+TEST(AbstractLocks, AcquireReleaseCycle) {
+  AbstractLockTable t(64);
+  EXPECT_TRUE(t.try_acquire(7));
+  EXPECT_TRUE(t.held_by_me(7));
+  t.release(7);
+  EXPECT_FALSE(t.held_by_me(7));
+}
+
+TEST(AbstractLocks, ReentrantAcquisition) {
+  AbstractLockTable t(64);
+  EXPECT_TRUE(t.try_acquire(7));
+  EXPECT_TRUE(t.try_acquire(7));  // same thread: reentrant
+  t.release(7);
+  EXPECT_TRUE(t.held_by_me(7));  // depth 2: still held
+  t.release(7);
+  EXPECT_FALSE(t.held_by_me(7));
+}
+
+TEST(AbstractLocks, ContendedAcquisitionTimesOut) {
+  AbstractLockTable t(64);
+  ASSERT_TRUE(t.try_acquire(3));
+  std::atomic<bool> got{true};
+  std::thread([&] { got = t.try_acquire(3, /*max_spins=*/64); }).join();
+  EXPECT_FALSE(got.load());  // bounded wait expired
+  t.release(3);
+  std::thread([&] { got = t.try_acquire(3, 64); }).join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Boosting, MapBasicsOutsideTx) {
+  TxManager mgr;
+  BMap m(&mgr);
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_FALSE(m.insert(1, 11));
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.put(1, 12), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.remove(1), std::optional<std::uint64_t>(12));
+  EXPECT_FALSE(m.contains(1));
+}
+
+TEST(Boosting, CommitKeepsBoostedEffects) {
+  TxManager mgr;
+  BMap m(&mgr);
+  mgr.txBegin();
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_TRUE(m.insert(2, 20));
+  mgr.txEnd();
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.contains(2));
+}
+
+TEST(Boosting, AbortRunsInversesInReverse) {
+  TxManager mgr;
+  BMap m(&mgr);
+  m.insert(5, 50);
+  try {
+    mgr.txBegin();
+    EXPECT_EQ(m.put(5, 51), std::optional<std::uint64_t>(50));
+    EXPECT_EQ(m.remove(5), std::optional<std::uint64_t>(51));
+    EXPECT_TRUE(m.insert(5, 52));
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  // Rolled back through three inverses to the original value.
+  EXPECT_EQ(m.get(5), std::optional<std::uint64_t>(50));
+  EXPECT_EQ(m.size_slow(), 1u);
+}
+
+TEST(Boosting, LocksReleasedAfterCommitAndAbort) {
+  TxManager mgr;
+  BMap m(&mgr);
+  mgr.txBegin();
+  m.insert(9, 90);
+  mgr.txEnd();
+  // Another thread can operate on key 9 immediately: locks were released.
+  std::thread([&] { EXPECT_EQ(m.remove(9), std::optional<std::uint64_t>(90)); })
+      .join();
+
+  try {
+    mgr.txBegin();
+    m.insert(9, 91);
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  std::thread([&] { EXPECT_TRUE(m.insert(9, 92)); }).join();
+  EXPECT_EQ(m.get(9), std::optional<std::uint64_t>(92));
+}
+
+TEST(Boosting, ComposesWithNbtcStructureAtomically) {
+  // Boosted map + lock-free hash table in ONE transaction: both effects
+  // or neither.
+  TxManager mgr;
+  BMap boosted(&mgr);
+  medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t> nbtc(&mgr, 64);
+  boosted.insert(1, 100);
+
+  medley::run_tx(mgr, [&] {
+    auto v = boosted.remove(1);
+    ASSERT_TRUE(v.has_value());
+    nbtc.insert(1, *v);
+  });
+  EXPECT_FALSE(boosted.contains(1));
+  EXPECT_EQ(nbtc.get(1), std::optional<std::uint64_t>(100));
+
+  // And the abort direction: NBTC rollback + boosted inverse together.
+  try {
+    mgr.txBegin();
+    auto v = nbtc.remove(1);
+    boosted.insert(1, *v);
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_EQ(nbtc.get(1), std::optional<std::uint64_t>(100));
+  EXPECT_FALSE(boosted.contains(1));
+}
+
+TEST(Boosting, ConflictingTxAbortsViaLockTimeout) {
+  TxManager mgr;
+  BMap m(&mgr);
+  m.insert(1, 10);
+  mgr.txBegin();
+  m.put(1, 11);  // holds the semantic lock for key 1 until commit
+  std::atomic<bool> aborted{false};
+  std::thread([&] {
+    try {
+      mgr.txBegin();
+      m.put(1, 12);  // bounded wait on the same semantic lock
+      mgr.txEnd();
+    } catch (const TransactionAborted&) {
+      aborted = true;
+    }
+  }).join();
+  EXPECT_TRUE(aborted.load());  // deadlock avoidance: loser aborts
+  mgr.txEnd();
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(11));
+}
+
+TEST(Boosting, DisjointKeysDoNotConflict) {
+  // The semantic-lock point of boosting: same underlying stripe-locked
+  // map, but transactions on different keys proceed concurrently.
+  TxManager mgr;
+  BMap m(&mgr);
+  std::atomic<std::uint64_t> commits{0};
+  medley::test::run_threads(4, [&](int t) {
+    const std::uint64_t base = static_cast<std::uint64_t>(t) * 1000;
+    for (int i = 0; i < 200; i++) {
+      medley::run_tx(mgr, [&] {
+        m.insert(base + static_cast<std::uint64_t>(i), 1);
+        m.put(base + static_cast<std::uint64_t>(i), 2);
+      });
+      commits.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(commits.load(), 4u * 200u);
+  EXPECT_EQ(m.size_slow(), 4u * 200u);
+}
+
+TEST(Boosting, TransfersConserveUnderContention) {
+  TxManager mgr;
+  BMap m(&mgr);
+  constexpr std::uint64_t kAccounts = 8, kInitial = 1000;
+  for (std::uint64_t a = 0; a < kAccounts; a++) m.insert(a, kInitial);
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 21);
+    for (int i = 0; i < 400; i++) {
+      auto from = rng.next_bounded(kAccounts);
+      auto to = rng.next_bounded(kAccounts);
+      if (from == to) continue;
+      for (;;) {
+        try {
+          mgr.txBegin();
+          auto vf = m.get(from);
+          auto vt = m.get(to);
+          if (*vf == 0) {
+            mgr.txAbort();
+          }
+          m.put(from, *vf - 1);
+          m.put(to, *vt + 1);
+          mgr.txEnd();
+          break;
+        } catch (const TransactionAborted& e) {
+          if (e.reason() == medley::AbortReason::User) break;
+        }
+      }
+    }
+  });
+  std::uint64_t total = 0;
+  for (std::uint64_t a = 0; a < kAccounts; a++) total += *m.get(a);
+  EXPECT_EQ(total, kAccounts * kInitial);
+}

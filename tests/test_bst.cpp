@@ -1,0 +1,179 @@
+// Natarajan-Mittal BST specifics: the publication-point pattern (flag,
+// tag, excise), sentinel handling at the empty/singleton boundary, helping
+// between concurrent deleters, and read evidence across pending deletes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ds/natarajan_bst.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::TransactionAborted;
+using medley::TxManager;
+using BST = medley::ds::NatarajanBST<std::uint64_t, std::uint64_t>;
+
+TEST(Bst, EmptyTreeBehaviour) {
+  TxManager mgr;
+  BST t(&mgr);
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.remove(1).has_value());
+  EXPECT_EQ(t.size_slow(), 0u);
+  EXPECT_TRUE(t.invariants_hold_slow());
+}
+
+TEST(Bst, SingletonInsertRemoveCycle) {
+  // Exercises the sentinel boundary: the last real leaf's parent collapses
+  // back to the S sentinel's child on every removal.
+  TxManager mgr;
+  BST t(&mgr);
+  for (int round = 0; round < 50; round++) {
+    ASSERT_TRUE(t.insert(42, 1));
+    ASSERT_EQ(t.size_slow(), 1u);
+    ASSERT_TRUE(t.remove(42).has_value());
+    ASSERT_EQ(t.size_slow(), 0u);
+    ASSERT_TRUE(t.invariants_hold_slow());
+  }
+}
+
+TEST(Bst, RemoveLeafWithInternalSibling) {
+  // Excision where the surviving subtree is itself internal.
+  TxManager mgr;
+  BST t(&mgr);
+  t.insert(50, 1);
+  t.insert(25, 2);
+  t.insert(75, 3);
+  t.insert(60, 4);
+  t.insert(90, 5);
+  ASSERT_TRUE(t.remove(25).has_value());  // sibling subtree {50..90}
+  EXPECT_TRUE(t.contains(50));
+  EXPECT_TRUE(t.contains(60));
+  EXPECT_TRUE(t.contains(75));
+  EXPECT_TRUE(t.contains(90));
+  EXPECT_TRUE(t.invariants_hold_slow());
+}
+
+TEST(Bst, DeepPathInsertRemove) {
+  TxManager mgr;
+  BST t(&mgr);
+  // Monotone insertion degenerates the external tree to a deep spine.
+  for (std::uint64_t k = 1; k <= 300; k++) ASSERT_TRUE(t.insert(k, k));
+  EXPECT_EQ(t.size_slow(), 300u);
+  EXPECT_TRUE(t.invariants_hold_slow());
+  for (std::uint64_t k = 1; k <= 300; k += 2) {
+    ASSERT_TRUE(t.remove(k).has_value());
+  }
+  EXPECT_EQ(t.size_slow(), 150u);
+  for (std::uint64_t k = 2; k <= 300; k += 2) ASSERT_TRUE(t.contains(k));
+  EXPECT_TRUE(t.invariants_hold_slow());
+}
+
+TEST(Bst, TxDeleteIsInvisibleUntilCommit) {
+  // The publication point (flag CAS) must stay speculative: a concurrent
+  // reader that resolves our descriptor aborts us rather than observing a
+  // half-done delete.
+  TxManager mgr;
+  BST t(&mgr);
+  t.insert(10, 1);
+  mgr.txBegin();
+  ASSERT_TRUE(t.remove(10).has_value());
+  std::atomic<bool> seen{false};
+  std::thread([&] { seen = t.contains(10); }).join();
+  // The reader either finalized us (abort) or ran before our install; in
+  // both cases it saw a consistent state. If it aborted us, txEnd throws.
+  bool committed = true;
+  try {
+    mgr.txEnd();
+  } catch (const TransactionAborted&) {
+    committed = false;
+  }
+  if (committed) {
+    EXPECT_FALSE(t.contains(10));
+  } else {
+    EXPECT_TRUE(t.contains(10));
+    EXPECT_TRUE(seen.load());  // reader saw the pre-delete state
+  }
+  EXPECT_TRUE(t.invariants_hold_slow());
+}
+
+TEST(Bst, TxComposedDeleteAndInsertDifferentKeys) {
+  TxManager mgr;
+  BST t(&mgr);
+  t.insert(10, 1);
+  t.insert(20, 2);
+  medley::run_tx(mgr, [&] {
+    ASSERT_TRUE(t.remove(10).has_value());
+    ASSERT_TRUE(t.insert(30, 3));
+  });
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_TRUE(t.contains(20));
+  EXPECT_TRUE(t.contains(30));
+  EXPECT_TRUE(t.invariants_hold_slow());
+}
+
+TEST(Bst, ConcurrentDeletersHelpEachOther) {
+  // Two threads repeatedly delete/insert adjacent keys whose leaves share
+  // parents: forces the helping path in cleanup() (flag seen on the other
+  // side).
+  TxManager mgr;
+  BST t(&mgr);
+  std::atomic<bool> stop{false};
+  medley::test::run_threads(2, [&](int id) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(id) + 1);
+    auto mine = static_cast<std::uint64_t>(id) + 1;  // keys 1 and 2
+    for (int i = 0; i < 4000 && !stop.load(); i++) {
+      t.insert(mine, mine);
+      t.remove(mine);
+    }
+  });
+  EXPECT_TRUE(t.invariants_hold_slow());
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.contains(2));
+}
+
+TEST(Bst, ConcurrentMixedChurnStaysCoherent) {
+  TxManager mgr;
+  BST t(&mgr);
+  constexpr std::uint64_t kKeys = 64;
+  medley::test::run_threads(6, [&](int id) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(id) * 3 + 2);
+    for (int i = 0; i < 2000; i++) {
+      auto k = rng.next_bounded(kKeys) + 1;
+      switch (rng.next_bounded(3)) {
+        case 0: t.insert(k, k * 7); break;
+        case 1: t.remove(k); break;
+        default: {
+          auto v = t.get(k);
+          if (v) {
+            ASSERT_EQ(*v, k * 7);
+          }
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(t.invariants_hold_slow());
+  auto keys = t.keys_slow();
+  for (auto k : keys) ASSERT_TRUE(t.contains(k));
+}
+
+TEST(Bst, ReadEvidenceAcrossPendingDeleteAborts) {
+  // A transactional read of key A races a committed delete of A: the read
+  // transaction must abort at commit rather than return stale "present".
+  TxManager mgr;
+  BST t(&mgr);
+  t.insert(5, 55);
+  bool aborted = false;
+  try {
+    mgr.txBegin();
+    ASSERT_TRUE(t.get(5).has_value());
+    std::thread([&] { EXPECT_TRUE(t.remove(5).has_value()); }).join();
+    mgr.txEnd();
+  } catch (const TransactionAborted&) {
+    aborted = true;
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_FALSE(t.contains(5));
+}

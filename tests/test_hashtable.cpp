@@ -1,0 +1,363 @@
+// Michael hash table: sequential map semantics, NBTC transactional
+// composition, rollback, read-own-writes, validation, concurrent stress.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "ds/michael_hashtable.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::TransactionAborted;
+using medley::TxManager;
+using medley::ds::MichaelHashTable;
+using Map = MichaelHashTable<std::uint64_t, std::uint64_t>;
+
+/// All keys collide into one bucket: exercises the ordered-list machinery.
+struct DegenerateHash {
+  std::size_t operator()(std::uint64_t) const { return 0; }
+};
+using ListMap = MichaelHashTable<std::uint64_t, std::uint64_t, DegenerateHash>;
+
+TEST(HashTable, InsertGetRoundTrip) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  EXPECT_TRUE(m.insert(1, 100));
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(100));
+  EXPECT_FALSE(m.get(2).has_value());
+}
+
+TEST(HashTable, InsertDuplicateFails) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  EXPECT_TRUE(m.insert(1, 100));
+  EXPECT_FALSE(m.insert(1, 200));
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(100));
+}
+
+TEST(HashTable, RemovePresentReturnsValue) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  m.insert(1, 100);
+  EXPECT_EQ(m.remove(1), std::optional<std::uint64_t>(100));
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_FALSE(m.remove(1).has_value());
+}
+
+TEST(HashTable, PutInsertsThenReplaces) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  EXPECT_FALSE(m.put(5, 50).has_value());
+  EXPECT_EQ(m.put(5, 51), std::optional<std::uint64_t>(50));
+  EXPECT_EQ(m.get(5), std::optional<std::uint64_t>(51));
+  EXPECT_EQ(m.size_slow(), 1u);
+}
+
+TEST(HashTable, ContainsTracksMembership) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  EXPECT_FALSE(m.contains(9));
+  m.insert(9, 1);
+  EXPECT_TRUE(m.contains(9));
+  m.remove(9);
+  EXPECT_FALSE(m.contains(9));
+}
+
+TEST(HashTable, ManyKeysAllRetrievable) {
+  TxManager mgr;
+  Map m(&mgr, 256);
+  for (std::uint64_t k = 0; k < 2000; k++) ASSERT_TRUE(m.insert(k, k * 7));
+  for (std::uint64_t k = 0; k < 2000; k++) {
+    ASSERT_EQ(m.get(k), std::optional<std::uint64_t>(k * 7));
+  }
+  EXPECT_EQ(m.size_slow(), 2000u);
+}
+
+TEST(HashTable, DegenerateBucketKeepsSortedSemantics) {
+  TxManager mgr;
+  ListMap m(&mgr, 8);
+  // Insert out of order into a single chain.
+  for (std::uint64_t k : {5u, 1u, 9u, 3u, 7u, 2u, 8u, 4u, 6u, 0u}) {
+    ASSERT_TRUE(m.insert(k, k));
+  }
+  for (std::uint64_t k = 0; k < 10; k++) EXPECT_TRUE(m.contains(k));
+  auto keys = m.keys_slow();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys.size(), 10u);
+  for (std::uint64_t k = 0; k < 10; k++) EXPECT_EQ(keys[k], k);
+  // Remove alternating keys; chain must stay coherent.
+  for (std::uint64_t k = 0; k < 10; k += 2) {
+    EXPECT_TRUE(m.remove(k).has_value());
+  }
+  EXPECT_EQ(m.size_slow(), 5u);
+  for (std::uint64_t k = 1; k < 10; k += 2) EXPECT_TRUE(m.contains(k));
+}
+
+// ---------------------------------------------------------------------
+// Transactional semantics.
+
+TEST(HashTableTx, TwoInsertsCommitTogether) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  mgr.txBegin();
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_TRUE(m.insert(2, 20));
+  mgr.txEnd();
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.get(2), std::optional<std::uint64_t>(20));
+}
+
+TEST(HashTableTx, AbortRollsBackInserts) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  try {
+    mgr.txBegin();
+    m.insert(1, 10);
+    m.insert(2, 20);
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_EQ(m.size_slow(), 0u);
+}
+
+TEST(HashTableTx, AbortRollsBackRemove) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  m.insert(1, 10);
+  try {
+    mgr.txBegin();
+    EXPECT_EQ(m.remove(1), std::optional<std::uint64_t>(10));
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+}
+
+TEST(HashTableTx, AbortRollsBackPutReplace) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  m.insert(1, 10);
+  try {
+    mgr.txBegin();
+    EXPECT_EQ(m.put(1, 99), std::optional<std::uint64_t>(10));
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.size_slow(), 1u);
+}
+
+TEST(HashTableTx, ReadOwnInsert) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  mgr.txBegin();
+  m.insert(7, 70);
+  EXPECT_EQ(m.get(7), std::optional<std::uint64_t>(70));  // speculative read
+  EXPECT_FALSE(m.insert(7, 71));  // own insert visible to own ops
+  mgr.txEnd();
+  EXPECT_EQ(m.get(7), std::optional<std::uint64_t>(70));
+}
+
+TEST(HashTableTx, ReadOwnRemove) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  m.insert(7, 70);
+  mgr.txBegin();
+  EXPECT_EQ(m.remove(7), std::optional<std::uint64_t>(70));
+  EXPECT_FALSE(m.get(7).has_value());  // own remove visible to own read
+  mgr.txEnd();
+  EXPECT_FALSE(m.contains(7));
+}
+
+TEST(HashTableTx, InsertThenRemoveSameTxNetsNothing) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  mgr.txBegin();
+  EXPECT_TRUE(m.insert(3, 30));
+  EXPECT_EQ(m.remove(3), std::optional<std::uint64_t>(30));
+  mgr.txEnd();
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.size_slow(), 0u);
+}
+
+TEST(HashTableTx, RemoveThenReinsertSameTx) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  m.insert(3, 30);
+  mgr.txBegin();
+  m.remove(3);
+  EXPECT_TRUE(m.insert(3, 31));
+  mgr.txEnd();
+  EXPECT_EQ(m.get(3), std::optional<std::uint64_t>(31));
+  EXPECT_EQ(m.size_slow(), 1u);
+}
+
+TEST(HashTableTx, Fig3TransferBetweenTables) {
+  // The paper's running example: move value v from account a1 in ht1 to
+  // account a2 in ht2, atomically.
+  TxManager mgr;
+  Map ht1(&mgr, 64), ht2(&mgr, 64);
+  ht1.insert(1, 100);
+  ht2.insert(2, 5);
+  medley::run_tx(mgr, [&] {
+    auto v1 = ht1.get(1);
+    auto v2 = ht2.get(2);
+    if (!v1 || *v1 < 30) mgr.txAbort();
+    ht1.put(1, *v1 - 30);
+    ht2.put(2, 30 + v2.value_or(0));
+  });
+  EXPECT_EQ(ht1.get(1), std::optional<std::uint64_t>(70));
+  EXPECT_EQ(ht2.get(2), std::optional<std::uint64_t>(35));
+}
+
+TEST(HashTableTx, StaleReadAbortsAtCommit) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  m.insert(1, 10);
+  bool aborted = false;
+  try {
+    mgr.txBegin();
+    auto v = m.get(1);
+    ASSERT_TRUE(v.has_value());
+    // A peer removes key 1 and commits before we do.
+    std::thread([&] { EXPECT_TRUE(m.remove(1).has_value()); }).join();
+    mgr.txEnd();
+  } catch (const TransactionAborted&) {
+    aborted = true;
+  }
+  EXPECT_TRUE(aborted);
+}
+
+TEST(HashTableTx, AbsenceReadAbortsWhenKeyAppears) {
+  TxManager mgr;
+  Map m(&mgr, 64);
+  bool aborted = false;
+  try {
+    mgr.txBegin();
+    EXPECT_FALSE(m.get(1).has_value());
+    std::thread([&] { EXPECT_TRUE(m.insert(1, 11)); }).join();
+    mgr.txEnd();
+  } catch (const TransactionAborted&) {
+    aborted = true;
+  }
+  EXPECT_TRUE(aborted);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency.
+
+TEST(HashTableConc, DisjointInsertsAllLand) {
+  TxManager mgr;
+  Map m(&mgr, 512);
+  constexpr int kThreads = 8, kPer = 500;
+  medley::test::run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < kPer; i++) {
+      auto k = static_cast<std::uint64_t>(t) * kPer + static_cast<std::uint64_t>(i);
+      ASSERT_TRUE(m.insert(k, k));
+    }
+  });
+  EXPECT_EQ(m.size_slow(), static_cast<std::size_t>(kThreads * kPer));
+  for (std::uint64_t k = 0; k < kThreads * kPer; k++) {
+    ASSERT_EQ(m.get(k), std::optional<std::uint64_t>(k));
+  }
+}
+
+TEST(HashTableConc, InsertRemoveChurnOnSharedKeys) {
+  TxManager mgr;
+  ListMap m(&mgr, 4);  // single chain: maximal contention
+  constexpr int kThreads = 6, kOps = 3000, kKeys = 16;
+  std::atomic<int> inserted{0}, removed{0};
+  medley::test::run_threads(kThreads, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+    for (int i = 0; i < kOps; i++) {
+      auto k = rng.next_bounded(kKeys);
+      if (rng.next() & 1) {
+        if (m.insert(k, k)) inserted.fetch_add(1);
+      } else {
+        if (m.remove(k).has_value()) removed.fetch_add(1);
+      }
+    }
+  });
+  // Conservation: live = inserted - removed.
+  EXPECT_EQ(m.size_slow(),
+            static_cast<std::size_t>(inserted.load() - removed.load()));
+  // Every live key retrievable, no duplicates.
+  auto keys = m.keys_slow();
+  std::set<std::uint64_t> uniq(keys.begin(), keys.end());
+  EXPECT_EQ(uniq.size(), keys.size());
+}
+
+TEST(HashTableConc, TransactionalTransfersConserveTotal) {
+  // Bank invariant across two tables under contention; the flagship
+  // strict-serializability property test.
+  TxManager mgr;
+  Map a(&mgr, 64), b(&mgr, 64);
+  constexpr std::uint64_t kAccounts = 8, kInitial = 1000;
+  for (std::uint64_t k = 0; k < kAccounts; k++) {
+    a.insert(k, kInitial);
+    b.insert(k, kInitial);
+  }
+  constexpr int kThreads = 4, kTx = 1500;
+  medley::test::run_threads(kThreads, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 7);
+    for (int i = 0; i < kTx; i++) {
+      auto from = rng.next_bounded(kAccounts);
+      auto to = rng.next_bounded(kAccounts);
+      Map& src = (rng.next() & 1) ? a : b;
+      Map& dst = (&src == &a) ? b : a;
+      medley::run_tx(mgr, [&] {
+        auto v1 = src.get(from);
+        auto v2 = dst.get(to);
+        if (!v1 || *v1 == 0) mgr.txAbort();
+        src.put(from, *v1 - 1);
+        dst.put(to, v2.value_or(0) + 1);
+      });
+    }
+  });
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < kAccounts; k++) {
+    total += a.get(k).value_or(0) + b.get(k).value_or(0);
+  }
+  EXPECT_EQ(total, 2 * kAccounts * kInitial);
+}
+
+// Parameterized sweep: the conservation invariant must hold across thread
+// counts and table shapes.
+class HashTableSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HashTableSweep, MixedOpsKeepStructureCoherent) {
+  const int threads = std::get<0>(GetParam());
+  const int buckets = std::get<1>(GetParam());
+  TxManager mgr;
+  Map m(&mgr, static_cast<std::size_t>(buckets));
+  constexpr int kOps = 1200;
+  constexpr std::uint64_t kKeys = 64;
+  medley::test::run_threads(threads, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 31 + 1);
+    for (int i = 0; i < kOps; i++) {
+      auto k = rng.next_bounded(kKeys);
+      switch (rng.next_bounded(4)) {
+        case 0: m.insert(k, k); break;
+        case 1: m.remove(k); break;
+        case 2: m.put(k, k + 1); break;
+        default: m.get(k); break;
+      }
+    }
+  });
+  auto keys = m.keys_slow();
+  std::set<std::uint64_t> uniq(keys.begin(), keys.end());
+  EXPECT_EQ(uniq.size(), keys.size());  // no duplicate keys survive
+  for (auto k : uniq) EXPECT_LT(k, kKeys);
+  EXPECT_EQ(m.size_slow(), keys.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HashTableSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1, 16, 256)));

@@ -1,0 +1,129 @@
+// LFTT-style transactional skiplist: static transactions, all-or-nothing
+// semantic failures, helping by re-execution, visible readers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "stm/lftt_skiplist.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::stm::LfttSkiplist;
+using Op = LfttSkiplist::Op;
+using OpType = LfttSkiplist::OpType;
+
+TEST(Lftt, SingletonBasics) {
+  LfttSkiplist s;
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_FALSE(s.insert(1));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.remove(1));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.remove(1));
+}
+
+TEST(Lftt, ReinsertAfterRemoveReusesNode) {
+  LfttSkiplist s;
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_TRUE(s.remove(7));
+  EXPECT_TRUE(s.insert(7));  // logical reinsertion on the physical node
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_EQ(s.size_slow(), 1u);
+}
+
+TEST(Lftt, StaticTxAllOpsCommitTogether) {
+  LfttSkiplist s;
+  EXPECT_TRUE(s.executeTx({{OpType::Insert, 1}, {OpType::Insert, 2},
+                           {OpType::Insert, 3}}));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.size_slow(), 3u);
+}
+
+TEST(Lftt, SemanticFailureAbortsWholeTx) {
+  LfttSkiplist s;
+  s.insert(2);
+  // Second op fails (2 already present): the whole tx aborts, so 1 must
+  // NOT be inserted.
+  EXPECT_FALSE(s.executeTx({{OpType::Insert, 1}, {OpType::Insert, 2}}));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+}
+
+TEST(Lftt, RemoveAbsentAbortsWholeTx) {
+  LfttSkiplist s;
+  s.insert(1);
+  EXPECT_FALSE(s.executeTx({{OpType::Remove, 1}, {OpType::Remove, 9}}));
+  EXPECT_TRUE(s.contains(1));  // first remove rolled back (never committed)
+}
+
+TEST(Lftt, ContainsInsideTxIsValidated) {
+  LfttSkiplist s;
+  s.insert(5);
+  EXPECT_TRUE(s.executeTx({{OpType::Contains, 5}, {OpType::Insert, 6}}));
+  EXPECT_TRUE(s.contains(6));
+  // Contains of an absent key aborts the tx.
+  EXPECT_FALSE(s.executeTx({{OpType::Contains, 99}, {OpType::Insert, 7}}));
+  EXPECT_FALSE(s.contains(7));
+}
+
+TEST(Lftt, InsertRemoveSameKeyInOneTx) {
+  LfttSkiplist s;
+  EXPECT_TRUE(s.executeTx({{OpType::Insert, 4}, {OpType::Remove, 4}}));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(Lftt, ConcurrentDisjointTxsAllCommit) {
+  LfttSkiplist s;
+  constexpr int kThreads = 4, kPer = 200;
+  std::atomic<int> committed{0};
+  medley::test::run_threads(kThreads, [&](int t) {
+    for (int i = 0; i < kPer; i++) {
+      auto base = static_cast<std::uint64_t>(t * kPer + i) * 2 + 1;
+      if (s.executeTx({{OpType::Insert, base}, {OpType::Insert, base + 1}})) {
+        committed.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(committed.load(), kThreads * kPer);
+  EXPECT_EQ(s.size_slow(), static_cast<std::size_t>(kThreads * kPer * 2));
+}
+
+TEST(Lftt, ConflictingTxsMaintainAtomicity) {
+  // Threads move key 1 <-> key 2 presence atomically: exactly one of the
+  // two keys is present at any quiescent point.
+  LfttSkiplist s;
+  s.insert(1);
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 3);
+    for (int i = 0; i < 400; i++) {
+      if (rng.next() & 1) {
+        s.executeTx({{OpType::Remove, 1}, {OpType::Insert, 2}});
+      } else {
+        s.executeTx({{OpType::Remove, 2}, {OpType::Insert, 1}});
+      }
+    }
+  });
+  int present = (s.contains(1) ? 1 : 0) + (s.contains(2) ? 1 : 0);
+  EXPECT_EQ(present, 1);
+}
+
+TEST(Lftt, ChurnConservation) {
+  LfttSkiplist s;
+  std::atomic<std::int64_t> net{0};
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 11 + 6);
+    for (int i = 0; i < 800; i++) {
+      auto k = rng.next_bounded(32) + 1;
+      if (rng.next() & 1) {
+        if (s.insert(k)) net.fetch_add(1);
+      } else if (s.remove(k)) {
+        net.fetch_sub(1);
+      }
+    }
+  });
+  EXPECT_EQ(s.size_slow(), static_cast<std::size_t>(net.load()));
+}

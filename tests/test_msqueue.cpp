@@ -1,0 +1,300 @@
+// Michael & Scott queue: FIFO semantics, NBTC transactional composition
+// (including the intra-transaction enqueue-then-dequeue dependency), and
+// multi-producer/multi-consumer stress.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "ds/michael_hashtable.hpp"
+#include "ds/ms_queue.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::TransactionAborted;
+using medley::TxManager;
+using medley::ds::MSQueue;
+using Q = MSQueue<std::uint64_t>;
+
+TEST(MsQueue, FifoOrder) {
+  TxManager mgr;
+  Q q(&mgr);
+  for (std::uint64_t i = 0; i < 100; i++) q.enqueue(i);
+  for (std::uint64_t i = 0; i < 100; i++) {
+    ASSERT_EQ(q.dequeue(), std::optional<std::uint64_t>(i));
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(MsQueue, EmptyInitially) {
+  TxManager mgr;
+  Q q(&mgr);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.dequeue().has_value());
+  q.enqueue(1);
+  EXPECT_FALSE(q.empty());
+  q.dequeue();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, InterleavedEnqDeq) {
+  TxManager mgr;
+  Q q(&mgr);
+  q.enqueue(1);
+  q.enqueue(2);
+  EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(1));
+  q.enqueue(3);
+  EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(3));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueue, SizeSlowCounts) {
+  TxManager mgr;
+  Q q(&mgr);
+  for (int i = 0; i < 10; i++) q.enqueue(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(q.size_slow(), 10u);
+  q.dequeue();
+  EXPECT_EQ(q.size_slow(), 9u);
+}
+
+// ---------------------------------------------------------------------
+// Transactional semantics. The queue is the structure prior transactional
+// transforms could not handle (no inverse, no critical node).
+
+TEST(MsQueueTx, TwoQueueMoveIsAtomic) {
+  TxManager mgr;
+  Q a(&mgr), b(&mgr);
+  a.enqueue(42);
+  medley::run_tx(mgr, [&] {
+    auto v = a.dequeue();
+    ASSERT_TRUE(v.has_value());
+    b.enqueue(*v);
+  });
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.dequeue(), std::optional<std::uint64_t>(42));
+}
+
+TEST(MsQueueTx, AbortRestoresDequeuedElement) {
+  TxManager mgr;
+  Q q(&mgr);
+  q.enqueue(1);
+  q.enqueue(2);
+  try {
+    mgr.txBegin();
+    EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(1));
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  // Rollback: element 1 still at the front, order intact.
+  EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(2));
+}
+
+TEST(MsQueueTx, AbortDiscardsEnqueue) {
+  TxManager mgr;
+  Q q(&mgr);
+  try {
+    mgr.txBegin();
+    q.enqueue(7);
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size_slow(), 0u);
+}
+
+TEST(MsQueueTx, EnqueueThenDequeueSameTxSeesOwnElement) {
+  // Intra-transaction dependency (paper Sec. 2.2, second complication):
+  // the dequeue must observe the same transaction's speculative enqueue.
+  TxManager mgr;
+  Q q(&mgr);
+  medley::run_tx(mgr, [&] {
+    q.enqueue(5);
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 5u);
+  });
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueueTx, EnqueueTwoDequeueOneSameTx) {
+  TxManager mgr;
+  Q q(&mgr);
+  medley::run_tx(mgr, [&] {
+    q.enqueue(1);
+    q.enqueue(2);
+    EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(1));
+  });
+  EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(2));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueueTx, DequeueThenEnqueueSameTxOnNonEmpty) {
+  TxManager mgr;
+  Q q(&mgr);
+  q.enqueue(10);
+  medley::run_tx(mgr, [&] {
+    EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(10));
+    q.enqueue(11);
+  });
+  EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(11));
+}
+
+TEST(MsQueueTx, EmptyReadValidatedAgainstConcurrentEnqueue) {
+  TxManager mgr;
+  Q q(&mgr);
+  bool aborted = false;
+  try {
+    mgr.txBegin();
+    EXPECT_FALSE(q.dequeue().has_value());  // empty read
+    std::thread([&] { q.enqueue(1); }).join();  // peer commits an enqueue
+    mgr.txEnd();
+  } catch (const TransactionAborted&) {
+    aborted = true;
+  }
+  EXPECT_TRUE(aborted);  // the "queue was empty" read is stale
+  EXPECT_EQ(q.size_slow(), 1u);
+}
+
+TEST(MsQueueTx, QueueAndMapComposeInOneTx) {
+  // Queue + per-element metadata: the composition pattern LFTT-style
+  // systems cannot express.
+  TxManager mgr;
+  Q q(&mgr);
+  medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t> seen(&mgr, 64);
+  q.enqueue(3);
+  medley::run_tx(mgr, [&] {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    seen.insert(*v, 1);
+  });
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(seen.contains(3));
+}
+
+// ---------------------------------------------------------------------
+// Concurrency.
+
+TEST(MsQueueConc, MpmcEveryElementExactlyOnce) {
+  TxManager mgr;
+  Q q(&mgr);
+  constexpr int kProducers = 4, kConsumers = 4, kPer = 2000;
+  std::atomic<int> consumed{0};
+  std::vector<std::atomic<int>> seen(kProducers * kPer);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kProducers; p++) {
+    ts.emplace_back([&, p] {
+      for (int i = 0; i < kPer; i++) {
+        q.enqueue(static_cast<std::uint64_t>(p * kPer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; c++) {
+    ts.emplace_back([&] {
+      while (consumed.load() < kProducers * kPer) {
+        auto v = q.dequeue();
+        if (v) {
+          seen[*v].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MsQueueConc, PerProducerFifoPreserved) {
+  TxManager mgr;
+  Q q(&mgr);
+  constexpr int kProducers = 3, kPer = 2000;
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> last_seen(kProducers, 0);
+  bool order_ok = true;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 1; i <= kPer; i++) {
+        q.enqueue((static_cast<std::uint64_t>(p) << 32) | i);
+      }
+    });
+  }
+  std::thread consumer([&] {
+    int got = 0;
+    while (got < kProducers * kPer) {
+      auto v = q.dequeue();
+      if (!v) continue;
+      auto p = static_cast<std::size_t>(*v >> 32);
+      auto seq = *v & 0xffffffffu;
+      if (seq <= last_seen[p]) order_ok = false;
+      last_seen[p] = seq;
+      got++;
+    }
+    done = true;
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(order_ok);
+}
+
+TEST(MsQueueConc, TransactionalPipelinesConserveElements) {
+  // Threads atomically move elements between two queues; total count is
+  // invariant and no element is duplicated or lost.
+  TxManager mgr;
+  Q a(&mgr), b(&mgr);
+  constexpr std::uint64_t kElems = 64;
+  for (std::uint64_t i = 0; i < kElems; i++) a.enqueue(i);
+
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 17);
+    for (int i = 0; i < 800; i++) {
+      Q& src = (rng.next() & 1) ? a : b;
+      Q& dst = (&src == &a) ? b : a;
+      try {
+        mgr.txBegin();
+        auto v = src.dequeue();
+        if (v) dst.enqueue(*v);
+        mgr.txEnd();
+      } catch (const TransactionAborted&) {
+      }
+    }
+  });
+  EXPECT_EQ(a.size_slow() + b.size_slow(), kElems);
+  // Drain both; all original elements present exactly once.
+  std::vector<int> seen(kElems, 0);
+  while (auto v = a.dequeue()) seen[*v]++;
+  while (auto v = b.dequeue()) seen[*v]++;
+  for (auto c : seen) EXPECT_EQ(c, 1);
+}
+
+class MsQueueSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsQueueSweep, ConcurrentChurnEndsCoherent) {
+  const int threads = GetParam();
+  TxManager mgr;
+  Q q(&mgr);
+  std::atomic<std::int64_t> balance{0};  // enqueues minus dequeues
+  medley::test::run_threads(threads, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 13 + 5);
+    for (int i = 0; i < 2000; i++) {
+      if (rng.next() & 1) {
+        q.enqueue(rng.next());
+        balance.fetch_add(1);
+      } else if (q.dequeue().has_value()) {
+        balance.fetch_sub(1);
+      }
+    }
+  });
+  EXPECT_EQ(q.size_slow(), static_cast<std::size_t>(balance.load()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MsQueueSweep, ::testing::Values(1, 2, 4, 8));

@@ -1,0 +1,240 @@
+// OneFile-style STM: serialized redo-log commits, helping, snapshot
+// consistency for read-set-free readers, and the derived hash map /
+// skiplist structures.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "stm/onefile.hpp"
+#include "stm/onefile_map.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::stm::OFHashMap;
+using medley::stm::OFSkipList;
+using medley::stm::OneFileSTM;
+using medley::stm::tmtype;
+
+TEST(OneFile, TmtypeDirectRoundTrip) {
+  tmtype<std::uint64_t> x(5);
+  EXPECT_EQ(x.load_direct(), 5u);
+  x.store_direct(9);
+  EXPECT_EQ(x.load_direct(), 9u);
+}
+
+TEST(OneFile, UpdateTxAppliesWrites) {
+  OneFileSTM stm;
+  tmtype<std::uint64_t> x(1), y(2);
+  stm.updateTx([&] {
+    x.pstore(10);
+    y.pstore(20);
+  });
+  EXPECT_EQ(x.load_direct(), 10u);
+  EXPECT_EQ(y.load_direct(), 20u);
+  EXPECT_EQ(stm.sequence(), 1u);
+}
+
+TEST(OneFile, ReadOwnWritesInsideTx) {
+  OneFileSTM stm;
+  tmtype<std::uint64_t> x(1);
+  stm.updateTx([&] {
+    x.pstore(10);
+    EXPECT_EQ(x.pload(), 10u);
+    x.pstore(11);
+    EXPECT_EQ(x.pload(), 11u);
+  });
+  EXPECT_EQ(x.load_direct(), 11u);
+}
+
+TEST(OneFile, ReadOnlyUpdateTxDoesNotAdvanceSequence) {
+  OneFileSTM stm;
+  tmtype<std::uint64_t> x(1);
+  stm.updateTx([&] { (void)x.pload(); });
+  EXPECT_EQ(stm.sequence(), 0u);
+}
+
+TEST(OneFile, ReadTxSeesConsistentPairs) {
+  // Writers keep x == y; readers must never observe x != y.
+  OneFileSTM stm;
+  tmtype<std::uint64_t> x(0), y(0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    for (std::uint64_t k = 1; k <= 4000; k++) {
+      stm.updateTx([&] {
+        x.pstore(k);
+        y.pstore(k);
+      });
+    }
+    stop = true;
+  });
+  medley::test::run_threads(3, [&](int) {
+    while (!stop.load()) {
+      auto [a, b] = stm.readTx([&] {
+        return std::pair<std::uint64_t, std::uint64_t>(x.pload(), y.pload());
+      });
+      if (a != b) torn.fetch_add(1);
+    }
+  });
+  writer.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(x.load_direct(), 4000u);
+}
+
+TEST(OneFile, ConcurrentIncrementsAllLand) {
+  OneFileSTM stm;
+  tmtype<std::uint64_t> ctr(0);
+  constexpr int kThreads = 4, kPer = 1000;
+  medley::test::run_threads(kThreads, [&](int) {
+    for (int i = 0; i < kPer; i++) {
+      stm.updateTx([&] { ctr.pstore(ctr.pload() + 1); });
+    }
+  });
+  EXPECT_EQ(ctr.load_direct(),
+            static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_EQ(stm.sequence(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(OneFile, TransfersConserveSum) {
+  OneFileSTM stm;
+  constexpr int kCells = 8;
+  tmtype<std::uint64_t> cells[kCells];
+  for (auto& c : cells) c.store_direct(1000);
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+    for (int i = 0; i < 1000; i++) {
+      auto from = rng.next_bounded(kCells), to = rng.next_bounded(kCells);
+      if (from == to) continue;
+      stm.updateTx([&] {
+        auto vf = cells[from].pload();
+        auto vt = cells[to].pload();
+        if (vf > 0) {
+          cells[from].pstore(vf - 1);
+          cells[to].pstore(vt + 1);
+        }
+      });
+    }
+  });
+  std::uint64_t sum = 0;
+  for (auto& c : cells) sum += c.load_direct();
+  EXPECT_EQ(sum, kCells * 1000u);
+}
+
+TEST(OneFile, PersistentModeCommitsCorrectly) {
+  // POneFile takes the eager write-back path; semantics must not change.
+  OneFileSTM stm(/*persistent=*/true);
+  tmtype<std::uint64_t> x(0);
+  for (int i = 0; i < 100; i++) {
+    stm.updateTx([&] { x.pstore(x.pload() + 1); });
+  }
+  EXPECT_EQ(x.load_direct(), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Derived structures.
+
+TEST(OneFileMap, HashMapBasics) {
+  OneFileSTM stm;
+  OFHashMap<std::uint64_t, std::uint64_t> m(&stm, 64);
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_FALSE(m.insert(1, 11));
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.put(1, 12), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.remove(1), std::optional<std::uint64_t>(12));
+  EXPECT_FALSE(m.contains(1));
+}
+
+TEST(OneFileMap, ComposedTransferBetweenMaps) {
+  OneFileSTM stm;
+  OFHashMap<std::uint64_t, std::uint64_t> a(&stm, 64), b(&stm, 64);
+  a.insert(1, 100);
+  stm.updateTx([&] {
+    auto v = a.remove(1);
+    ASSERT_TRUE(v.has_value());
+    b.insert(1, *v);
+  });
+  EXPECT_FALSE(a.contains(1));
+  EXPECT_EQ(b.get(1), std::optional<std::uint64_t>(100));
+}
+
+TEST(OneFileMap, HashMapConcurrentChurn) {
+  OneFileSTM stm;
+  OFHashMap<std::uint64_t, std::uint64_t> m(&stm, 64);
+  std::atomic<std::int64_t> net{0};
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 3 + 1);
+    for (int i = 0; i < 800; i++) {
+      auto k = rng.next_bounded(32);
+      if (rng.next() & 1) {
+        if (m.insert(k, k)) net.fetch_add(1);
+      } else if (m.remove(k).has_value()) {
+        net.fetch_sub(1);
+      }
+    }
+  });
+  EXPECT_EQ(m.size_slow(), static_cast<std::size_t>(net.load()));
+}
+
+TEST(OneFileMap, SkipListBasics) {
+  OneFileSTM stm;
+  OFSkipList<std::uint64_t, std::uint64_t> s(&stm);
+  for (std::uint64_t k = 1; k <= 200; k++) ASSERT_TRUE(s.insert(k, k * 2));
+  for (std::uint64_t k = 1; k <= 200; k++) {
+    ASSERT_EQ(s.get(k), std::optional<std::uint64_t>(k * 2));
+  }
+  EXPECT_FALSE(s.insert(100, 0));
+  EXPECT_EQ(s.remove(100), std::optional<std::uint64_t>(200));
+  EXPECT_FALSE(s.contains(100));
+  EXPECT_EQ(s.size_slow(), 199u);
+}
+
+TEST(OneFileMap, SkipListConcurrentConservation) {
+  OneFileSTM stm;
+  OFSkipList<std::uint64_t, std::uint64_t> s(&stm);
+  std::atomic<std::int64_t> net{0};
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 5 + 2);
+    for (int i = 0; i < 600; i++) {
+      auto k = rng.next_bounded(64) + 1;
+      if (rng.next() & 1) {
+        if (s.insert(k, k)) net.fetch_add(1);
+      } else if (s.remove(k).has_value()) {
+        net.fetch_sub(1);
+      }
+    }
+  });
+  EXPECT_EQ(s.size_slow(), static_cast<std::size_t>(net.load()));
+}
+
+TEST(OneFileMap, ComposedMultiOpTransactionIsAtomic) {
+  // Transaction of 4 ops across two structures; a concurrent reader
+  // observing via readTx must see all or nothing of each commit.
+  OneFileSTM stm;
+  OFHashMap<std::uint64_t, std::uint64_t> m(&stm, 64);
+  OFSkipList<std::uint64_t, std::uint64_t> s(&stm);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 1500; i++) {
+      stm.updateTx([&] {
+        m.put(1, i);
+        s.remove(i - 1);
+        s.insert(i, i);
+      });
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      stm.readTx([&] {
+        auto v = m.get(1);
+        if (v && !s.contains(*v)) violations.fetch_add(1);
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}

@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the test suite.
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/medley.hpp"
+
+namespace medley::test {
+
+/// Exposes Composable's protected services so core-level tests can drive
+/// the NBTC machinery without a full data structure.
+struct Harness : core::Composable {
+  explicit Harness(core::TxManager* m) : Composable(m) {}
+  using Composable::addToCleanups;
+  using Composable::addToReadSet;
+  using Composable::tDelete;
+  using Composable::tNew;
+  using Composable::tRetire;
+};
+
+/// Run `fn(thread_index)` on `n` threads and join.
+inline void run_threads(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; i++) ts.emplace_back(fn, i);
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace medley::test

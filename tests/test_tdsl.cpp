@@ -1,0 +1,162 @@
+// TDSL-style transactional skiplist: singleton semantics, transactional
+// composition with read-own-writes, commit-time validation, blocking
+// commit under contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "stm/tdsl_skiplist.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using Tdsl = medley::stm::TdslSkiplist<std::uint64_t, std::uint64_t>;
+
+TEST(Tdsl, SingletonBasics) {
+  Tdsl s;
+  EXPECT_TRUE(s.insert(1, 10));
+  EXPECT_FALSE(s.insert(1, 11));
+  EXPECT_EQ(s.get(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(s.remove(1), std::optional<std::uint64_t>(10));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.remove(1).has_value());
+}
+
+TEST(Tdsl, ManyKeysViaIndex) {
+  Tdsl s;
+  for (std::uint64_t k = 1; k <= 1000; k++) ASSERT_TRUE(s.insert(k, k * 3));
+  for (std::uint64_t k = 1; k <= 1000; k++) {
+    ASSERT_EQ(s.get(k), std::optional<std::uint64_t>(k * 3)) << k;
+  }
+  EXPECT_EQ(s.size_slow(), 1000u);
+}
+
+TEST(Tdsl, TxCommitAppliesAll) {
+  Tdsl s;
+  s.txBegin();
+  EXPECT_TRUE(s.insert(1, 10));
+  EXPECT_TRUE(s.insert(2, 20));
+  ASSERT_TRUE(s.txCommit());
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+}
+
+TEST(Tdsl, TxLocalAbortDiscardsAll) {
+  Tdsl s;
+  s.txBegin();
+  s.insert(1, 10);
+  s.insert(2, 20);
+  s.txAbortLocal();
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.size_slow(), 0u);
+}
+
+TEST(Tdsl, ReadOwnWritesInsideTx) {
+  Tdsl s;
+  s.txBegin();
+  EXPECT_TRUE(s.insert(5, 50));
+  EXPECT_EQ(s.get(5), std::optional<std::uint64_t>(50));
+  EXPECT_FALSE(s.insert(5, 51));
+  EXPECT_EQ(s.remove(5), std::optional<std::uint64_t>(50));
+  EXPECT_FALSE(s.get(5).has_value());
+  ASSERT_TRUE(s.txCommit());
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.size_slow(), 0u);
+}
+
+TEST(Tdsl, RemoveThenInsertInOneTx) {
+  Tdsl s;
+  s.insert(3, 30);
+  s.txBegin();
+  EXPECT_EQ(s.remove(3), std::optional<std::uint64_t>(30));
+  EXPECT_TRUE(s.insert(3, 31));
+  ASSERT_TRUE(s.txCommit());
+  EXPECT_EQ(s.get(3), std::optional<std::uint64_t>(31));
+  EXPECT_EQ(s.size_slow(), 1u);
+}
+
+TEST(Tdsl, StaleReadFailsCommit) {
+  Tdsl s;
+  s.insert(1, 10);
+  s.txBegin();
+  ASSERT_TRUE(s.get(1).has_value());
+  std::thread([&] { EXPECT_TRUE(s.remove(1).has_value()); }).join();
+  EXPECT_FALSE(s.txCommit());  // version of the read node changed
+}
+
+TEST(Tdsl, AbsenceInvalidatedByConcurrentInsert) {
+  Tdsl s;
+  s.txBegin();
+  EXPECT_FALSE(s.get(7).has_value());
+  std::thread([&] { EXPECT_TRUE(s.insert(7, 70)); }).join();
+  EXPECT_FALSE(s.txCommit());  // pred's version changed
+}
+
+TEST(Tdsl, ConcurrentChurnConservation) {
+  Tdsl s;
+  std::atomic<std::int64_t> net{0};
+  medley::test::run_threads(6, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 9 + 4);
+    for (int i = 0; i < 1000; i++) {
+      auto k = rng.next_bounded(48) + 1;
+      if (rng.next() & 1) {
+        if (s.insert(k, k)) net.fetch_add(1);
+      } else if (s.remove(k).has_value()) {
+        net.fetch_sub(1);
+      }
+    }
+  });
+  EXPECT_EQ(s.size_slow(), static_cast<std::size_t>(net.load()));
+}
+
+TEST(Tdsl, TransactionalTransfersConserveKeys) {
+  Tdsl a, b;
+  constexpr std::uint64_t kKeys = 24;
+  for (std::uint64_t k = 1; k <= kKeys; k++) a.insert(k, k);
+  medley::test::run_threads(4, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 31);
+    for (int i = 0; i < 300; i++) {
+      auto k = rng.next_bounded(kKeys) + 1;
+      Tdsl& src = (rng.next() & 1) ? a : b;
+      Tdsl& dst = (&src == &a) ? b : a;
+      // Cross-structure transactions in TDSL require committing both
+      // structures' write sets together; our reimplementation scopes a tx
+      // to one structure (as the authors' library largely does), so the
+      // move is two dependent singleton ops with a compensation path.
+      auto v = src.remove(k);
+      if (v && !dst.insert(k, *v)) src.insert(k, *v);
+    }
+  });
+  for (std::uint64_t k = 1; k <= kKeys; k++) {
+    int copies = (a.contains(k) ? 1 : 0) + (b.contains(k) ? 1 : 0);
+    EXPECT_EQ(copies, 1) << k;
+  }
+}
+
+TEST(Tdsl, HighContentionCommitsEventuallySucceed) {
+  // Blocking commit with bounded spin: threads hammer the same keys in
+  // transactions; every thread must finish (no deadlock/livelock) and net
+  // effect must be coherent.
+  Tdsl s;
+  std::atomic<int> committed{0};
+  medley::test::run_threads(6, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 17 + 8);
+    for (int i = 0; i < 300; i++) {
+      for (;;) {
+        s.txBegin();
+        auto k = rng.next_bounded(4) + 1;
+        if (!s.contains(k)) s.insert(k, k);
+        auto k2 = rng.next_bounded(4) + 1;
+        s.remove(k2);
+        if (s.txCommit()) {
+          committed.fetch_add(1);
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(committed.load(), 6 * 300);
+  EXPECT_LE(s.size_slow(), 4u);
+}

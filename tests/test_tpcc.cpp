@@ -1,0 +1,200 @@
+// TPC-C subset over all four transactional backends: loading, newOrder /
+// payment correctness, spec-style consistency audits (order counts, money
+// conservation) under sequential and concurrent execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "test_support.hpp"
+#include "tpcc/tpcc_backend.hpp"
+#include "tpcc/tpcc_workload.hpp"
+
+using namespace medley::tpcc;
+
+namespace {
+
+Scale small_scale() {
+  Scale s;
+  s.warehouses = 2;
+  s.districts_per_wh = 4;
+  s.customers_per_district = 32;
+  s.items = 64;
+  return s;
+}
+
+/// Sequential smoke: load, a few newOrders and payments, audits.
+template <typename B>
+void sequential_audit(B& backend) {
+  const Scale scale = small_scale();
+  Workload<B> w(backend, scale);
+  w.load();
+
+  Generator gen(scale, 7);
+  int committed_orders = 0;
+  for (int i = 0; i < 50; i++) committed_orders += w.new_order(gen);
+  EXPECT_EQ(committed_orders, 50);  // no concurrency: all must commit
+
+  std::uint64_t hseq = 0, total = 0;
+  for (int i = 0; i < 50; i++) {
+    Generator probe(scale, 100 + i);
+    // Deterministic amount accounting: re-run generator stream inside.
+    std::uint64_t before = hseq;
+    if (w.payment(probe, /*tid=*/0, hseq) && hseq == before + 1) {
+      // Amount is consumed inside; recompute from an identical generator.
+      Generator replay(scale, 100 + i);
+      replay.warehouse();
+      replay.district();
+      replay.customer();
+      total += replay.h_amount();
+    }
+  }
+  EXPECT_TRUE(w.orders_consistent());
+  EXPECT_TRUE(w.money_consistent(total));
+}
+
+/// Concurrent 1:1 newOrder/payment mix (the paper's Fig. 9 workload),
+/// then full audits.
+template <typename B>
+void concurrent_audit(B& backend, int threads, int tx_per_thread) {
+  const Scale scale = small_scale();
+  Workload<B> w(backend, scale);
+  w.load();
+
+  std::atomic<std::uint64_t> history_total{0};
+  medley::test::run_threads(threads, [&](int t) {
+    Generator gen(scale, static_cast<std::uint64_t>(t) * 977 + 13);
+    std::uint64_t hseq = 0;
+    for (int i = 0; i < tx_per_thread; i++) {
+      if (gen.coin()) {
+        while (!w.new_order(gen)) {
+        }
+      } else {
+        // Track committed payment amounts for the money audit: peek the
+        // amount by running payment until commit with a per-attempt
+        // generator whose amount we capture via replay.
+        for (;;) {
+          const std::uint64_t seed = gen.rng().next();
+          Generator attempt(scale, seed);
+          std::uint64_t before = hseq;
+          if (w.payment(attempt, static_cast<std::uint64_t>(t), hseq) &&
+              hseq == before + 1) {
+            Generator replay(scale, seed);
+            replay.warehouse();
+            replay.district();
+            replay.customer();
+            history_total.fetch_add(replay.h_amount());
+            break;
+          }
+        }
+      }
+    }
+  });
+
+  EXPECT_TRUE(w.orders_consistent());
+  EXPECT_TRUE(w.money_consistent(history_total.load()));
+}
+
+}  // namespace
+
+TEST(TpccMedley, SequentialAudit) {
+  MedleyBackend b;
+  sequential_audit(b);
+}
+
+TEST(TpccMedley, ConcurrentAudit) {
+  MedleyBackend b;
+  concurrent_audit(b, 4, 60);
+}
+
+TEST(TpccOneFile, SequentialAudit) {
+  OneFileBackend b;
+  sequential_audit(b);
+}
+
+TEST(TpccOneFile, ConcurrentAudit) {
+  OneFileBackend b;
+  concurrent_audit(b, 4, 60);
+}
+
+TEST(TpccTdsl, SequentialAudit) {
+  TdslBackend b;
+  sequential_audit(b);
+}
+
+TEST(TpccTdsl, ConcurrentAudit) {
+  TdslBackend b;
+  concurrent_audit(b, 4, 60);
+}
+
+TEST(TpccTxMontage, SequentialAudit) {
+  std::string path = ::testing::TempDir() + "medley_tpcc_seq.img";
+  std::remove(path.c_str());
+  {
+    medley::montage::PRegion region(path, 1u << 16);
+    TxMontageBackend b(&region);
+    sequential_audit(b);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TpccTxMontage, ConcurrentAuditWithAdvancer) {
+  std::string path = ::testing::TempDir() + "medley_tpcc_conc.img";
+  std::remove(path.c_str());
+  {
+    medley::montage::PRegion region(path, 1u << 17);
+    TxMontageBackend b(&region);
+    b.es.start_advancer(5);
+    concurrent_audit(b, 4, 40);
+    b.es.stop_advancer();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TpccTxMontage, StateRecoversAfterCrash) {
+  // Run a loaded workload, sync, crash, recover, re-audit consistency.
+  std::string path = ::testing::TempDir() + "medley_tpcc_crash.img";
+  std::remove(path.c_str());
+  const Scale scale = small_scale();
+  std::uint64_t synced_orders = 0;
+  {
+    medley::montage::PRegion region(path, 1u << 16);
+    TxMontageBackend b(&region);
+    Workload<TxMontageBackend> w(b, scale);
+    w.load();
+    Generator gen(scale, 3);
+    for (int i = 0; i < 20; i++) synced_orders += w.new_order(gen);
+    b.es.sync();
+    for (int i = 0; i < 10; i++) w.new_order(gen);  // unsynced suffix
+  }
+  {
+    medley::montage::PRegion region(path, 1u << 16);
+    TxMontageBackend b(&region);
+    auto recovered = b.es.recover();
+    b.warehouse().recover_from(recovered);
+    b.district().recover_from(recovered);
+    b.customer().recover_from(recovered);
+    b.stock().recover_from(recovered);
+    b.item().recover_from(recovered);
+    b.order().recover_from(recovered);
+    b.neworder().recover_from(recovered);
+    b.orderline().recover_from(recovered);
+    b.history().recover_from(recovered);
+    Workload<TxMontageBackend> w(b, scale);
+    // The recovered state is the synced prefix: exactly synced_orders
+    // orders, each internally complete.
+    EXPECT_TRUE(w.orders_consistent());
+    std::uint64_t orders = 0;
+    for (std::uint64_t wh = 0; wh < scale.warehouses; wh++) {
+      for (std::uint64_t d = 0; d < scale.districts_per_wh; d++) {
+        orders += DistrictRow::unpack(
+                      *b.district().get(district_key(wh, d)))
+                      .next_o_id -
+                  1;
+      }
+    }
+    EXPECT_EQ(orders, synced_orders);
+  }
+  std::remove(path.c_str());
+}

@@ -1,0 +1,313 @@
+// Cross-structure transactional composition: the paper's core promise is
+// that *any* mix of NBTC structures composes — queue + hash table +
+// skiplist + BST in a single transaction, with strict serializability
+// across all of them. These tests drive exactly that, plus opacity
+// (validateReads), liveness under oversubscription, and parameterized
+// conservation sweeps.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ds/fraser_skiplist.hpp"
+#include "ds/michael_hashtable.hpp"
+#include "ds/ms_queue.hpp"
+#include "ds/natarajan_bst.hpp"
+#include "ds/rotating_skiplist.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::AbortReason;
+using medley::TransactionAborted;
+using medley::TxManager;
+using Queue = medley::ds::MSQueue<std::uint64_t>;
+using Hash = medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>;
+using Skip = medley::ds::FraserSkiplist<std::uint64_t, std::uint64_t>;
+using Rot = medley::ds::RotatingSkiplist<std::uint64_t, std::uint64_t>;
+using Bst = medley::ds::NatarajanBST<std::uint64_t, std::uint64_t>;
+
+TEST(Composition, FourStructuresOneTransaction) {
+  TxManager mgr;
+  Queue q(&mgr);
+  Hash h(&mgr, 64);
+  Skip s(&mgr);
+  Bst b(&mgr);
+
+  q.enqueue(1);
+  medley::run_tx(mgr, [&] {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    h.insert(*v, 100);
+    s.insert(*v, 200);
+    b.insert(*v, 300);
+  });
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(h.get(1), std::optional<std::uint64_t>(100));
+  EXPECT_EQ(s.get(1), std::optional<std::uint64_t>(200));
+  EXPECT_EQ(b.get(1), std::optional<std::uint64_t>(300));
+}
+
+TEST(Composition, FourStructuresAbortRollsBackAll) {
+  TxManager mgr;
+  Queue q(&mgr);
+  Hash h(&mgr, 64);
+  Skip s(&mgr);
+  Bst b(&mgr);
+  q.enqueue(1);
+  try {
+    mgr.txBegin();
+    auto v = q.dequeue();
+    h.insert(*v, 100);
+    s.insert(*v, 200);
+    b.insert(*v, 300);
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_FALSE(q.empty());  // element restored
+  EXPECT_FALSE(h.contains(1));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_FALSE(b.contains(1));
+}
+
+TEST(Composition, ChainedMovesAcrossFiveStructures) {
+  // value hops queue -> hash -> fraser -> rotating -> bst, one tx per hop;
+  // at every quiescent point it exists in exactly one place.
+  TxManager mgr;
+  Queue q(&mgr);
+  Hash h(&mgr, 64);
+  Skip s(&mgr);
+  Rot r(&mgr);
+  Bst b(&mgr);
+
+  q.enqueue(42);
+  medley::run_tx(mgr, [&] {
+    auto v = q.dequeue();
+    h.insert(42, *v);
+  });
+  medley::run_tx(mgr, [&] {
+    auto v = h.remove(42);
+    s.insert(42, *v);
+  });
+  medley::run_tx(mgr, [&] {
+    auto v = s.remove(42);
+    r.insert(42, *v);
+  });
+  medley::run_tx(mgr, [&] {
+    auto v = r.remove(42);
+    b.insert(42, *v);
+  });
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(h.contains(42));
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_FALSE(r.contains(42));
+  EXPECT_EQ(b.get(42), std::optional<std::uint64_t>(42));
+}
+
+TEST(Composition, ReadOnlySnapshotAcrossStructures) {
+  // A transactional reader sees one consistent cut across three
+  // structures being updated together.
+  TxManager mgr;
+  Hash h(&mgr, 64);
+  Skip s(&mgr);
+  Bst b(&mgr);
+  h.insert(1, 0);
+  s.insert(1, 0);
+  b.insert(1, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 1200; i++) {
+      medley::run_tx(mgr, [&] {
+        h.remove(1);
+        h.insert(1, i);
+        s.remove(1);
+        s.insert(1, i);
+        b.remove(1);
+        b.insert(1, i);
+      });
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      try {
+        mgr.txBegin();
+        auto vh = h.get(1);
+        auto vs = s.get(1);
+        auto vb = b.get(1);
+        mgr.txEnd();
+        if (!(vh == vs && vs == vb)) torn.fetch_add(1);
+      } catch (const TransactionAborted&) {
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(Composition, OpacityValidateReadsMidTransaction) {
+  TxManager mgr;
+  Hash h(&mgr, 64);
+  Skip s(&mgr);
+  h.insert(1, 10);
+  bool threw = false;
+  try {
+    mgr.txBegin();
+    auto v = h.get(1);
+    ASSERT_TRUE(v.has_value());
+    std::thread([&] { h.put(1, 99); }).join();  // peer invalidates us
+    mgr.validateReads();  // opacity: detect now rather than at commit
+    s.insert(2, *v);      // never reached
+    mgr.txEnd();
+  } catch (const TransactionAborted& e) {
+    threw = true;
+    EXPECT_EQ(e.reason(), AbortReason::Validation);
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(Composition, QueueLedgerMatchesMapState) {
+  // Classic producer/consumer with a ledger: each consume tx moves an
+  // element from the queue into the map AND appends an audit record to a
+  // second queue. #records == #map entries always.
+  TxManager mgr;
+  Queue work(&mgr), audit(&mgr);
+  Hash done(&mgr, 256);
+  constexpr int kItems = 200;
+  for (std::uint64_t i = 1; i <= kItems; i++) work.enqueue(i);
+
+  medley::test::run_threads(4, [&](int) {
+    for (;;) {
+      bool drained = false;
+      try {
+        mgr.txBegin();
+        auto v = work.dequeue();
+        if (!v) {
+          drained = true;
+        } else {
+          done.insert(*v, 1);
+          audit.enqueue(*v);
+        }
+        mgr.txEnd();
+      } catch (const TransactionAborted&) {
+        continue;
+      }
+      if (drained) break;
+    }
+  });
+  EXPECT_EQ(done.size_slow(), static_cast<std::size_t>(kItems));
+  EXPECT_EQ(audit.size_slow(), static_cast<std::size_t>(kItems));
+  // Audit queue contains each item exactly once.
+  std::vector<int> seen(kItems + 1, 0);
+  while (auto v = audit.dequeue()) seen[*v]++;
+  for (int i = 1; i <= kItems; i++) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(Composition, LivenessUnderHeavyOversubscription) {
+  // 16 threads on (at most a few) cores hammering two hot keys across two
+  // structures: obstruction freedom + retry must guarantee global
+  // progress; the test completing at all is the assertion.
+  TxManager mgr;
+  Hash h(&mgr, 8);
+  Skip s(&mgr);
+  h.insert(1, 0);
+  s.insert(1, 0);
+  std::atomic<std::uint64_t> commits{0};
+  medley::test::run_threads(16, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 5);
+    for (int i = 0; i < 150; i++) {
+      medley::run_tx(mgr, [&] {
+        auto vh = h.get(1).value_or(0);
+        auto vs = s.get(1).value_or(0);
+        h.put(1, vh + 1);
+        s.remove(1);
+        s.insert(1, vs + 1);
+      });
+      commits.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(commits.load(), 16u * 150u);
+  // Both counters saw every committed increment.
+  EXPECT_EQ(h.get(1), std::optional<std::uint64_t>(16 * 150));
+  EXPECT_EQ(s.get(1), std::optional<std::uint64_t>(16 * 150));
+}
+
+TEST(Composition, LargeTransactionAcrossAllStructures) {
+  TxManager mgr;
+  Queue q(&mgr);
+  Hash h(&mgr, 256);
+  Skip s(&mgr);
+  Rot r(&mgr);
+  Bst b(&mgr);
+  medley::run_tx(mgr, [&] {
+    for (std::uint64_t k = 1; k <= 40; k++) {
+      q.enqueue(k);
+      h.insert(k, k);
+      s.insert(k, k);
+      r.insert(k, k);
+      b.insert(k, k);
+    }
+  });
+  EXPECT_EQ(q.size_slow(), 40u);
+  EXPECT_EQ(h.size_slow(), 40u);
+  EXPECT_EQ(s.size_slow(), 40u);
+  EXPECT_EQ(r.size_slow(), 40u);
+  EXPECT_EQ(b.size_slow(), 40u);
+  EXPECT_TRUE(s.invariants_hold_slow());
+  EXPECT_TRUE(r.invariants_hold_slow());
+  EXPECT_TRUE(b.invariants_hold_slow());
+}
+
+// Parameterized conservation sweep: tokens distributed across a ring of
+// heterogeneous structures; random transactional moves along the ring;
+// total token count invariant.
+class CompositionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompositionSweep, TokenRingConservation) {
+  const int threads = std::get<0>(GetParam());
+  const int moves = std::get<1>(GetParam());
+  TxManager mgr;
+  Hash h(&mgr, 64);
+  Skip s(&mgr);
+  Bst b(&mgr);
+  constexpr std::uint64_t kTokens = 30;
+  for (std::uint64_t k = 1; k <= kTokens; k++) h.insert(k, k);
+
+  auto contains_in = [&](std::uint64_t k) {
+    return (h.contains(k) ? 1 : 0) + (s.contains(k) ? 1 : 0) +
+           (b.contains(k) ? 1 : 0);
+  };
+
+  medley::test::run_threads(threads, [&](int t) {
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 37 + 3);
+    for (int i = 0; i < moves; i++) {
+      auto k = rng.next_bounded(kTokens) + 1;
+      try {
+        mgr.txBegin();
+        // Move token k one step along the ring h -> s -> b -> h.
+        if (auto v = h.remove(k)) {
+          s.insert(k, *v);
+        } else if (auto w = s.remove(k)) {
+          b.insert(k, *w);
+        } else if (auto u = b.remove(k)) {
+          h.insert(k, *u);
+        }
+        mgr.txEnd();
+      } catch (const TransactionAborted&) {
+      }
+    }
+  });
+
+  for (std::uint64_t k = 1; k <= kTokens; k++) {
+    EXPECT_EQ(contains_in(k), 1) << "token " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CompositionSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(100, 400)));

@@ -1,0 +1,285 @@
+// TxManager lifecycle: begin/end/abort state machine, cleanup deferral,
+// speculative allocation bookkeeping, opacity validation, statistics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "core/medley.hpp"
+#include "smr/ebr.hpp"
+#include "test_support.hpp"
+
+using medley::AbortReason;
+using medley::CASObj;
+using medley::TransactionAborted;
+using medley::TxManager;
+using medley::test::Harness;
+using U64Obj = CASObj<std::uint64_t>;
+
+TEST(TxManager, EmptyTransactionCommits) {
+  TxManager mgr;
+  mgr.txBegin();
+  mgr.txEnd();
+  EXPECT_EQ(mgr.stats().commits, 1u);
+  EXPECT_EQ(mgr.stats().aborts, 0u);
+}
+
+TEST(TxManager, NestingThrowsLogicError) {
+  TxManager mgr;
+  mgr.txBegin();
+  EXPECT_THROW(mgr.txBegin(), std::logic_error);
+  mgr.txEnd();
+}
+
+TEST(TxManager, EndOutsideTxThrowsLogicError) {
+  TxManager mgr;
+  EXPECT_THROW(mgr.txEnd(), std::logic_error);
+}
+
+TEST(TxManager, AbortOutsideTxThrowsLogicError) {
+  TxManager mgr;
+  EXPECT_THROW(mgr.txAbort(), std::logic_error);
+}
+
+TEST(TxManager, InTxReflectsState) {
+  TxManager mgr;
+  EXPECT_FALSE(mgr.in_tx());
+  mgr.txBegin();
+  EXPECT_TRUE(mgr.in_tx());
+  mgr.txEnd();
+  EXPECT_FALSE(mgr.in_tx());
+}
+
+TEST(TxManager, InTxFalseAfterAbort) {
+  TxManager mgr;
+  try {
+    mgr.txBegin();
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_FALSE(mgr.in_tx());
+}
+
+TEST(TxManager, TwoManagersIndependentState) {
+  TxManager m1, m2;
+  m1.txBegin();
+  EXPECT_TRUE(m1.in_tx());
+  EXPECT_FALSE(m2.in_tx());
+  m1.txEnd();
+}
+
+TEST(TxManager, CleanupsDeferredToCommitInOrder) {
+  TxManager mgr;
+  Harness h(&mgr);
+  std::vector<int> order;
+  mgr.txBegin();
+  h.addToCleanups([&] { order.push_back(1); });
+  h.addToCleanups([&] { order.push_back(2); });
+  EXPECT_TRUE(order.empty());  // not yet
+  mgr.txEnd();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(TxManager, CleanupsDiscardedOnAbort) {
+  TxManager mgr;
+  Harness h(&mgr);
+  bool ran = false;
+  try {
+    mgr.txBegin();
+    h.addToCleanups([&] { ran = true; });
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(TxManager, CleanupOutsideTxRunsImmediately) {
+  TxManager mgr;
+  Harness h(&mgr);
+  bool ran = false;
+  h.addToCleanups([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(TxManager, CleanupsRunOutsideTransactionContext) {
+  // Cleanup code must execute as plain code: active_ctx() == nullptr.
+  TxManager mgr;
+  Harness h(&mgr);
+  bool was_plain = false;
+  mgr.txBegin();
+  h.addToCleanups(
+      [&] { was_plain = (TxManager::active_ctx() == nullptr); });
+  mgr.txEnd();
+  EXPECT_TRUE(was_plain);
+}
+
+namespace {
+std::atomic<int> g_live{0};
+struct Counted {
+  Counted() { g_live.fetch_add(1); }
+  ~Counted() { g_live.fetch_sub(1); }
+};
+}  // namespace
+
+TEST(TxManager, TNewReclaimedOnAbort) {
+  TxManager mgr;
+  Harness h(&mgr);
+  medley::smr::EBR::instance().drain();
+  int before = g_live.load();
+  try {
+    mgr.txBegin();
+    h.tNew<Counted>();
+    h.tNew<Counted>();
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  medley::smr::EBR::instance().drain();  // abort path retires via EBR
+  EXPECT_EQ(g_live.load(), before);
+}
+
+TEST(TxManager, TNewSurvivesCommit) {
+  TxManager mgr;
+  Harness h(&mgr);
+  int before = g_live.load();
+  Counted* p = nullptr;
+  mgr.txBegin();
+  p = h.tNew<Counted>();
+  mgr.txEnd();
+  medley::smr::EBR::instance().drain();
+  EXPECT_EQ(g_live.load(), before + 1);  // ownership passed to caller
+  delete p;
+}
+
+TEST(TxManager, TDeleteInsideTxReclaims) {
+  TxManager mgr;
+  Harness h(&mgr);
+  medley::smr::EBR::instance().drain();
+  int before = g_live.load();
+  mgr.txBegin();
+  auto* p = h.tNew<Counted>();
+  h.tDelete(p);
+  mgr.txEnd();
+  medley::smr::EBR::instance().drain();
+  EXPECT_EQ(g_live.load(), before);
+}
+
+TEST(TxManager, TRetireDeferredToCommit) {
+  TxManager mgr;
+  Harness h(&mgr);
+  medley::smr::EBR::instance().drain();
+  int before = g_live.load();
+  auto* p = new Counted;  // pre-existing node being unlinked by the tx
+  mgr.txBegin();
+  h.tRetire(p);
+  EXPECT_EQ(g_live.load(), before + 1);  // still alive inside the tx
+  mgr.txEnd();
+  medley::smr::EBR::instance().drain();
+  EXPECT_EQ(g_live.load(), before);
+}
+
+TEST(TxManager, TRetireDiscardedOnAbort) {
+  TxManager mgr;
+  Harness h(&mgr);
+  medley::smr::EBR::instance().drain();
+  auto* p = new Counted;
+  int with_p = g_live.load();
+  try {
+    mgr.txBegin();
+    h.tRetire(p);
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  medley::smr::EBR::instance().drain();
+  EXPECT_EQ(g_live.load(), with_p);  // abort => the unlink never happened
+  delete p;
+}
+
+TEST(TxManager, ValidateReadsThrowsOnStaleRead) {
+  TxManager mgr;
+  Harness h(&mgr);
+  U64Obj a(7);
+  bool threw = false;
+  try {
+    mgr.txBegin();
+    auto v = a.nbtcLoad();
+    h.addToReadSet(&a, v);
+    std::thread([&] { ASSERT_TRUE(a.CAS(7, 8)); }).join();
+    mgr.validateReads();  // opacity: abort now, not at commit
+  } catch (const TransactionAborted& e) {
+    threw = true;
+    EXPECT_EQ(e.reason(), AbortReason::Validation);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(TxManager, ValidateReadsPassesWhenFresh) {
+  TxManager mgr;
+  Harness h(&mgr);
+  U64Obj a(7);
+  mgr.txBegin();
+  auto v = a.nbtcLoad();
+  h.addToReadSet(&a, v);
+  mgr.validateReads();  // must not throw
+  mgr.txEnd();
+  EXPECT_EQ(mgr.stats().commits, 1u);
+}
+
+TEST(TxManager, RunTxRetriesUntilCommit) {
+  TxManager mgr;
+  U64Obj a(0);
+  std::atomic<int> attempts{0};
+  // Interfering thread keeps flipping `a` for a while.
+  std::atomic<bool> stop{false};
+  std::thread noise([&] {
+    while (!stop.load()) {
+      auto v = a.load();
+      a.CAS(v, v);  // counter churn: forces occasional validation failures
+    }
+  });
+  auto aborts = medley::run_tx(mgr, [&] {
+    attempts.fetch_add(1);
+    auto v = a.nbtcLoad();
+    if (!a.nbtcCAS(v, v + 1, true, true)) mgr.txAbort();
+  });
+  stop = true;
+  noise.join();
+  EXPECT_EQ(a.load(), 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(attempts.load()), aborts + 1);
+}
+
+TEST(TxManager, BeginHookRunsInsideTx) {
+  TxManager mgr;
+  bool hook_in_tx = false;
+  mgr.set_begin_hook([&] { hook_in_tx = (TxManager::active_ctx() != nullptr); });
+  mgr.txBegin();
+  mgr.txEnd();
+  EXPECT_TRUE(hook_in_tx);
+}
+
+TEST(TxManager, StatsAggregateAcrossThreads) {
+  TxManager mgr;
+  medley::test::run_threads(4, [&](int) {
+    for (int i = 0; i < 10; i++) {
+      mgr.txBegin();
+      mgr.txEnd();
+    }
+  });
+  EXPECT_EQ(mgr.stats().commits, 40u);
+  mgr.reset_stats();
+  EXPECT_EQ(mgr.stats().commits, 0u);
+}
+
+TEST(TxManager, AbortReasonTaxonomyReported) {
+  TxManager mgr;
+  try {
+    mgr.txBegin();
+    mgr.txAbort();
+  } catch (const TransactionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::User);
+    EXPECT_NE(std::string(e.what()).find("user"), std::string::npos);
+  }
+}

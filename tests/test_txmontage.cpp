@@ -1,0 +1,297 @@
+// txMontage: ACID transactions over persistent Medley structures —
+// isolation/consistency from Medley, failure atomicity + durability from
+// the epoch system. Crash simulation: the DRAM side (index, EpochSys,
+// TxManager) is discarded; the mmap'd region survives; recovery trusts
+// only the persisted boundary, exactly like a machine restart would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "montage/txmontage.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+using medley::TransactionAborted;
+using medley::TxManager;
+using medley::montage::EpochSys;
+using medley::montage::PRegion;
+using medley::montage::TxMontageHashTable;
+using medley::montage::TxMontageSkiplist;
+
+namespace {
+std::string temp_region(const char* name) {
+  std::string p = ::testing::TempDir() + "medley_" + name + ".img";
+  std::remove(p.c_str());
+  return p;
+}
+}  // namespace
+
+TEST(TxMontage, MapBasics) {
+  auto path = temp_region("txm_basic");
+  PRegion region(path, 1024);
+  TxManager mgr;
+  EpochSys es(&region);
+  es.attach(&mgr);
+  TxMontageHashTable m(&mgr, &es, /*sid=*/1, /*buckets=*/64);
+
+  EXPECT_TRUE(m.insert(1, 10));
+  EXPECT_FALSE(m.insert(1, 11));
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.put(1, 12), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.remove(1), std::optional<std::uint64_t>(12));
+  EXPECT_FALSE(m.contains(1));
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, TransactionAcrossTwoPersistentMaps) {
+  auto path = temp_region("txm_twomaps");
+  PRegion region(path, 1024);
+  TxManager mgr;
+  EpochSys es(&region);
+  es.attach(&mgr);
+  TxMontageHashTable a(&mgr, &es, 1, 64);
+  TxMontageSkiplist b(&mgr, &es, 2);
+
+  a.insert(5, 500);
+  medley::run_tx(mgr, [&] {
+    auto v = a.remove(5);
+    ASSERT_TRUE(v.has_value());
+    b.insert(5, *v);
+  });
+  EXPECT_FALSE(a.contains(5));
+  EXPECT_EQ(b.get(5), std::optional<std::uint64_t>(500));
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, AbortLeavesNoPersistentTrace) {
+  auto path = temp_region("txm_abort");
+  PRegion region(path, 1024);
+  TxManager mgr;
+  EpochSys es(&region);
+  es.attach(&mgr);
+  TxMontageHashTable m(&mgr, &es, 1, 64);
+
+  try {
+    mgr.txBegin();
+    m.insert(9, 90);
+    mgr.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  es.sync();
+  EXPECT_FALSE(m.contains(9));
+  EXPECT_EQ(es.durable_payload_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, SyncedDataSurvivesCrash) {
+  auto path = temp_region("txm_crash1");
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    for (std::uint64_t k = 1; k <= 20; k++) {
+      medley::run_tx(mgr, [&] { m.insert(k, k * 10); });
+    }
+    es.sync();
+  }  // crash: all DRAM state gone
+  {
+    PRegion region(path, 1024);
+    ASSERT_FALSE(region.fresh());
+    TxManager mgr;
+    EpochSys es(&region);
+    auto recovered = es.recover();
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    m.recover_from(recovered);
+    for (std::uint64_t k = 1; k <= 20; k++) {
+      EXPECT_EQ(m.get(k), std::optional<std::uint64_t>(k * 10)) << k;
+    }
+    EXPECT_EQ(m.size_slow(), 20u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, UnsyncedSuffixLostAtomically) {
+  auto path = temp_region("txm_crash2");
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    medley::run_tx(mgr, [&] {
+      m.insert(1, 10);
+      m.insert(2, 20);
+    });
+    es.sync();
+    // Post-sync transaction: committed in DRAM, never persisted.
+    medley::run_tx(mgr, [&] {
+      m.insert(3, 30);
+      m.insert(4, 40);
+    });
+    EXPECT_TRUE(m.contains(3));
+  }
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    auto recovered = es.recover();
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    m.recover_from(recovered);
+    // The synced transaction survives whole...
+    EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+    EXPECT_EQ(m.get(2), std::optional<std::uint64_t>(20));
+    // ...the unsynced one disappears whole (buffered durability: a recent
+    // suffix may be lost, but never a torn transaction).
+    EXPECT_FALSE(m.contains(3));
+    EXPECT_FALSE(m.contains(4));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, RemoveBeforeCrashWithoutSyncResurrects) {
+  auto path = temp_region("txm_crash3");
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    medley::run_tx(mgr, [&] { m.insert(1, 10); });
+    es.sync();
+    medley::run_tx(mgr, [&] { m.remove(1); });  // not synced
+  }
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    auto recovered = es.recover();
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    m.recover_from(recovered);
+    // The unsynced remove is part of the lost suffix.
+    EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(10));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, SyncedRemoveStaysRemoved) {
+  auto path = temp_region("txm_crash4");
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    medley::run_tx(mgr, [&] { m.insert(1, 10); });
+    medley::run_tx(mgr, [&] { m.remove(1); });
+    es.sync();
+  }
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    auto recovered = es.recover();
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    m.recover_from(recovered);
+    EXPECT_FALSE(m.contains(1));
+    EXPECT_EQ(m.size_slow(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, TwoStructuresRecoverIndependentlyBySid) {
+  auto path = temp_region("txm_sids");
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    es.attach(&mgr);
+    TxMontageHashTable a(&mgr, &es, 1, 64);
+    TxMontageSkiplist b(&mgr, &es, 2);
+    medley::run_tx(mgr, [&] {
+      a.insert(1, 100);
+      b.insert(1, 111);
+    });
+    es.sync();
+  }
+  {
+    PRegion region(path, 1024);
+    TxManager mgr;
+    EpochSys es(&region);
+    auto recovered = es.recover();
+    es.attach(&mgr);
+    TxMontageHashTable a(&mgr, &es, 1, 64);
+    TxMontageSkiplist b(&mgr, &es, 2);
+    a.recover_from(recovered);
+    b.recover_from(recovered);
+    EXPECT_EQ(a.get(1), std::optional<std::uint64_t>(100));
+    EXPECT_EQ(b.get(1), std::optional<std::uint64_t>(111));
+    EXPECT_EQ(a.size_slow(), 1u);
+    EXPECT_EQ(b.size_slow(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TxMontage, ConcurrentTransfersConserveAcrossCrash) {
+  // The flagship BDSS property: concurrent transactional transfers with a
+  // periodic advancer, then a crash; the recovered state must be a
+  // consistent prefix — total balance conserved exactly.
+  auto path = temp_region("txm_bank");
+  constexpr std::uint64_t kAccounts = 16, kInitial = 100;
+  {
+    PRegion region(path, 8192);
+    TxManager mgr;
+    EpochSys es(&region);
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    for (std::uint64_t k = 0; k < kAccounts; k++) {
+      medley::run_tx(mgr, [&] { m.insert(k, kInitial); });
+    }
+    es.sync();
+    es.start_advancer(2);
+    medley::test::run_threads(4, [&](int t) {
+      medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < 400; i++) {
+        auto from = rng.next_bounded(kAccounts);
+        auto to = rng.next_bounded(kAccounts);
+        if (from == to) continue;
+        medley::run_tx(mgr, [&] {
+          auto vf = m.get(from);
+          auto vt = m.get(to);
+          if (!vf || *vf == 0) mgr.txAbort();
+          m.put(from, *vf - 1);
+          m.put(to, *vt + 1);
+        });
+      }
+    });
+    es.stop_advancer();
+  }  // crash at an arbitrary persisted boundary
+  {
+    PRegion region(path, 8192);
+    TxManager mgr;
+    EpochSys es(&region);
+    auto recovered = es.recover();
+    es.attach(&mgr);
+    TxMontageHashTable m(&mgr, &es, 1, 64);
+    m.recover_from(recovered);
+    std::uint64_t total = 0;
+    std::size_t present = 0;
+    for (std::uint64_t k = 0; k < kAccounts; k++) {
+      auto v = m.get(k);
+      if (v) {
+        total += *v;
+        present++;
+      }
+    }
+    EXPECT_EQ(present, kAccounts);  // initial inserts were synced
+    EXPECT_EQ(total, kAccounts * kInitial);  // transfers atomic at boundary
+  }
+  std::remove(path.c_str());
+}

@@ -1,0 +1,191 @@
+// Unit tests for the util substrate: 128-bit atomics, padding, RNGs,
+// thread registry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/align.hpp"
+#include "util/atomic128.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
+#include "util/thread_registry.hpp"
+#include "util/timing.hpp"
+
+namespace mu = medley::util;
+
+TEST(Atomic128, DefaultZero) {
+  mu::Atomic128 a;
+  auto v = a.load();
+  EXPECT_EQ(v.lo, 0u);
+  EXPECT_EQ(v.hi, 0u);
+}
+
+TEST(Atomic128, StoreLoadRoundTrip) {
+  mu::Atomic128 a;
+  a.store({0xdeadbeefULL, 0x1234'5678'9abc'def0ULL});
+  auto v = a.load();
+  EXPECT_EQ(v.lo, 0xdeadbeefULL);
+  EXPECT_EQ(v.hi, 0x1234'5678'9abc'def0ULL);
+}
+
+TEST(Atomic128, CasSucceedsOnMatch) {
+  mu::Atomic128 a(mu::U128{1, 2});
+  mu::U128 expected{1, 2};
+  EXPECT_TRUE(a.compare_exchange(expected, {3, 4}));
+  auto v = a.load();
+  EXPECT_EQ(v.lo, 3u);
+  EXPECT_EQ(v.hi, 4u);
+}
+
+TEST(Atomic128, CasFailsOnLoMismatchAndReportsActual) {
+  mu::Atomic128 a(mu::U128{1, 2});
+  mu::U128 expected{9, 2};
+  EXPECT_FALSE(a.compare_exchange(expected, {3, 4}));
+  EXPECT_EQ(expected.lo, 1u);
+  EXPECT_EQ(expected.hi, 2u);
+}
+
+TEST(Atomic128, CasFailsOnHiMismatch) {
+  mu::Atomic128 a(mu::U128{1, 2});
+  mu::U128 expected{1, 9};
+  EXPECT_FALSE(a.compare_exchange(expected, {3, 4}));
+  EXPECT_EQ(expected.hi, 2u);
+}
+
+TEST(Atomic128, BothHalvesChangeTogetherUnderContention) {
+  // Each thread repeatedly CASes {x, x} -> {x+1, x+1}; the two halves must
+  // never be observed out of sync.
+  mu::Atomic128 a(mu::U128{0, 0});
+  std::atomic<bool> violation{false};
+  medley::test::run_threads(4, [&](int) {
+    for (int i = 0; i < 20000; i++) {
+      auto v = a.load();
+      if (v.lo != v.hi) violation.store(true);
+      mu::U128 want{v.lo + 1, v.hi + 1};
+      a.compare_exchange(v, want);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+  auto v = a.load();
+  EXPECT_EQ(v.lo, v.hi);
+}
+
+TEST(Padded, FootprintIsWholeCacheLines) {
+  EXPECT_EQ(sizeof(mu::Padded<std::uint64_t>), mu::kCacheLine);
+  struct Big {
+    char b[70];
+  };
+  EXPECT_EQ(sizeof(mu::Padded<Big>) % mu::kCacheLine, 0u);
+  EXPECT_GE(sizeof(mu::Padded<Big>), sizeof(Big));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  mu::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  mu::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  mu::Xoshiro256 r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; i++) EXPECT_LT(r.next_bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  mu::Xoshiro256 r(11);
+  constexpr int kBuckets = 10, kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; i++) counts[r.next_bounded(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  mu::Xoshiro256 r(3);
+  for (int i = 0; i < 1000; i++) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, ZeroThetaIsUniformish) {
+  mu::ZipfGenerator z(100, 0.0, 5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; i++) counts[z.next()]++;
+  // Every key should appear; uniform expectation is 1000 each.
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(Zipf, HighThetaSkewsToHead) {
+  mu::ZipfGenerator z(1000, 0.99, 5);
+  int head = 0, total = 100000;
+  for (int i = 0; i < total; i++) head += (z.next() < 10);
+  // With theta=.99 the top-10 keys draw a large fraction of mass.
+  EXPECT_GT(head, total / 4);
+}
+
+TEST(Zipf, StaysInRange) {
+  mu::ZipfGenerator z(17, 0.8, 9);
+  for (int i = 0; i < 10000; i++) EXPECT_LT(z.next(), 17u);
+}
+
+TEST(ThreadRegistry, StableWithinThread) {
+  int a = mu::ThreadRegistry::tid();
+  int b = mu::ThreadRegistry::tid();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadRegistry, DistinctAcrossLiveThreads) {
+  // Ids are leased: a thread that exits returns its id, so distinctness is
+  // only guaranteed among *concurrently live* threads. Hold all 8 at a
+  // barrier while collecting.
+  std::set<int> ids;
+  std::mutex m;
+  std::atomic<int> arrived{0};
+  medley::test::run_threads(8, [&](int) {
+    int id = mu::ThreadRegistry::tid();
+    {
+      std::lock_guard<std::mutex> g(m);
+      ids.insert(id);
+    }
+    arrived.fetch_add(1);
+    while (arrived.load() < 8) std::this_thread::yield();
+  });
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(ThreadRegistry, MaxTidBoundsSeenIds) {
+  medley::test::run_threads(4, [&](int) { mu::ThreadRegistry::tid(); });
+  EXPECT_GE(mu::ThreadRegistry::max_tid(), 1);
+  EXPECT_LE(mu::ThreadRegistry::max_tid(), mu::ThreadRegistry::kMaxThreads);
+}
+
+TEST(Backoff, CompletesAndResets) {
+  mu::ExpBackoff b(2, 16);
+  for (int i = 0; i < 10; i++) b();
+  b.reset();
+  b();
+  SUCCEED();
+}
+
+TEST(Timing, StopwatchMonotone) {
+  mu::Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(sw.elapsed_ns(), 1'000'000u);
+  EXPECT_GT(sw.elapsed_s(), 0.0);
+}
