@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "ds/michael_hashtable.hpp"
 #include "fig_common.hpp"
@@ -121,8 +122,14 @@ struct TxMontageHashAdapter {
         }
         mgr.txEnd();
         return aborts;
-      } catch (const medley::TransactionAborted&) {
+      } catch (const medley::TransactionAborted& e) {
         aborts++;
+        // Capacity aborts mean the persistent region is waiting on the
+        // next epoch advance to free retired payloads; give the advancer
+        // thread CPU instead of spinning through doomed retries.
+        if (e.reason() == medley::AbortReason::Capacity) {
+          std::this_thread::yield();
+        }
       }
     }
   }

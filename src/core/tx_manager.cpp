@@ -160,6 +160,14 @@ void TxManager::txAbort() {
   abort_internal(c, AbortReason::User);
 }
 
+void TxManager::txAbortCapacity() {
+  ThreadCtx* c = tl_active_;
+  if (c == nullptr || c->mgr != this) {
+    throw std::logic_error("txAbortCapacity outside a transaction");
+  }
+  abort_internal(c, AbortReason::Capacity);
+}
+
 void TxManager::validateReads() {
   ThreadCtx* c = tl_active_;
   if (c == nullptr || c->mgr != this) return;  // outside tx: nothing tracked

@@ -134,6 +134,12 @@ class TxManager {
   /// Explicitly abort; always throws TransactionAborted(User).
   void txAbort();
 
+  /// Abort because a resource ran out mid-transaction (e.g. the Montage
+  /// persistent region is exhausted until the next epoch advance frees
+  /// retired payloads). Unlike txAbort, the reason is Capacity, which
+  /// run_tx treats as transient and retries.
+  [[noreturn]] void txAbortCapacity();
+
   /// Optional opacity support (paper Sec. 3.1): throw now if any tracked
   /// read no longer holds, instead of waiting for commit.
   void validateReads();

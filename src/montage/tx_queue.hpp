@@ -34,6 +34,10 @@ class TxMontageQueue {
         serial_.fetch_add(1, std::memory_order_acq_rel);
     PBlk* payload = es_->alloc_payload(sid_, serial, v);
     if (payload == nullptr) {
+      // See TxMontageMap::alloc: transient under epoch-deferred frees.
+      if (auto* ctx = core::TxManager::active_ctx()) {
+        ctx->mgr->txAbortCapacity();
+      }
       throw std::runtime_error("txMontage: persistent region exhausted");
     }
     q_.enqueue(payload);

@@ -87,6 +87,12 @@ class TxMontageMap {
   PBlk* alloc(std::uint64_t k, std::uint64_t v) {
     PBlk* payload = es_->alloc_payload(sid_, k, v);
     if (payload == nullptr) {
+      // Exhaustion is usually transient: retired payloads become free at
+      // the next epoch advance. Inside a transaction, surface it as a
+      // retryable Capacity abort; outside, the region is genuinely full.
+      if (auto* ctx = core::TxManager::active_ctx()) {
+        ctx->mgr->txAbortCapacity();
+      }
       throw std::runtime_error("txMontage: persistent region exhausted");
     }
     return payload;

@@ -10,6 +10,11 @@
 #include <atomic>
 #include <cstdint>
 
+#if !defined(__SIZEOF_INT128__)
+#error \
+    "medley requires a target with native 128-bit integers (any 64-bit GCC/Clang target). 32-bit builds are unsupported: the {value, counter} pair of CASObj must be a single double-width atomic."
+#endif
+
 namespace medley::util {
 
 /// A pair of 64-bit words manipulated as one 128-bit atomic unit.

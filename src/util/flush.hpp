@@ -23,8 +23,12 @@ inline constexpr std::size_t kFlushLine = 64;
 inline void clwb(const void* p) noexcept {
 #if defined(__x86_64__) && defined(__CLWB__)
   _mm_clwb(const_cast<void*>(p));
+#elif defined(__x86_64__) && defined(__CLFLUSHOPT__)
+  _mm_clflushopt(const_cast<void*>(p));
 #elif defined(__x86_64__)
-  __builtin_ia32_clflushopt(const_cast<void*>(p));
+  // Baseline x86-64: clflush is universally available. It invalidates the
+  // line (unlike clwb), so batched write-back still pays a realistic cost.
+  _mm_clflush(const_cast<void*>(p));
 #else
   (void)p;
 #endif

@@ -1,0 +1,30 @@
+#pragma once
+// Umbrella for the concurrent-correctness harness:
+//
+//   Recorder / OpRecord   (history.hpp)  — operation-log recorder
+//   MapOracle/QueueOracle (oracle.hpp)   — sequential specs (std::map/deque)
+//   check_*               (checker.hpp)  — exact replay + sound invariants
+//   ScheduleDriver        (schedule.hpp) — deterministic interleavings
+//   RecordedMap/Queue     (recorded.hpp) — structure adapters
+//
+// Typical uses:
+//
+//   // 1. Deterministic interleaving, exact oracle check:
+//   Recorder rec;
+//   RecordedMap<Map> rm(&m, &rec);
+//   ScheduleDriver d;
+//   d.add_thread({[&]{ rm.insert(0, 1, 10); }, [&]{ rm.remove(0, 1); }});
+//   d.add_thread({[&]{ rm.get(1, 1); }});
+//   d.run({0, 1, 0});                       // t0 insert, t1 get, t0 remove
+//   EXPECT_TRUE(check_sequential_map(rec.history()));
+//
+//   // 2. Free-running stress, sound concurrent invariants:
+//   run_seeded(8, 42, [&](int t, auto& rng) { ... rm.insert(t, k, v) ... });
+//   EXPECT_TRUE(check_set_history(rec.history(), initial,
+//                                 observed_state(m)));
+
+#include "harness/checker.hpp"
+#include "harness/history.hpp"
+#include "harness/oracle.hpp"
+#include "harness/recorded.hpp"
+#include "harness/schedule.hpp"

@@ -1,0 +1,95 @@
+#pragma once
+// Operation-log recorder: the first third of the concurrent-correctness
+// harness (recorder -> oracle -> checker).
+//
+// Worker threads record every data-structure operation they perform as an
+// OpRecord carrying the operation, its arguments, its observed result, and
+// a [start, end] interval stamped from one global atomic clock. The merged
+// log is a *concurrent history* in the Herlihy/Wing sense: intervals may
+// overlap, and the checkers in checker.hpp decide what can soundly be
+// concluded from it.
+//
+// Logs are kept per worker slot so recording adds one fetch_add per
+// timestamp and no shared-vector contention.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace medley::test::harness {
+
+enum class OpKind : std::uint8_t {
+  Get,       // ok = found, out = value
+  Contains,  // ok = found
+  Insert,    // ok = inserted (key was absent)
+  Remove,    // ok = removed (key was present), out = old value
+  Put,       // ok = replaced (key was present), out = old value
+  Enqueue,   // ok = true, key = value enqueued
+  Dequeue,   // ok = non-empty, out = value dequeued
+};
+
+inline const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::Get: return "get";
+    case OpKind::Contains: return "contains";
+    case OpKind::Insert: return "insert";
+    case OpKind::Remove: return "remove";
+    case OpKind::Put: return "put";
+    case OpKind::Enqueue: return "enqueue";
+    case OpKind::Dequeue: return "dequeue";
+  }
+  return "?";
+}
+
+struct OpRecord {
+  int thread = 0;
+  OpKind kind = OpKind::Get;
+  std::uint64_t key = 0;  // map key, or the value passed to enqueue
+  std::uint64_t val = 0;  // value argument of insert/put
+  bool ok = false;        // see OpKind comments
+  std::uint64_t out = 0;  // returned value when ok
+  std::uint64_t start = 0, end = 0;  // global clock interval
+};
+
+class Recorder {
+ public:
+  static constexpr int kMaxSlots = 64;
+
+  explicit Recorder(int slots = kMaxSlots) : slots_(slots) {
+    if (slots < 0 || slots > kMaxSlots) {
+      throw std::invalid_argument("Recorder: slots out of range");
+    }
+  }
+
+  std::uint64_t tick() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Append a finished record to worker `slot`'s private log.
+  void log(int slot, const OpRecord& r) { logs_[slot].push_back(r); }
+
+  /// Merged history, ordered by start tick. Call after workers have joined.
+  std::vector<OpRecord> history() const {
+    std::vector<OpRecord> h;
+    for (int s = 0; s < slots_; s++) {
+      h.insert(h.end(), logs_[s].begin(), logs_[s].end());
+    }
+    std::sort(h.begin(), h.end(),
+              [](const OpRecord& a, const OpRecord& b) {
+                return a.start < b.start;
+              });
+    return h;
+  }
+
+  void clear() {
+    for (auto& l : logs_) l.clear();
+    clock_.store(0, std::memory_order_release);
+  }
+
+ private:
+  int slots_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<OpRecord> logs_[kMaxSlots];
+};
+
+}  // namespace medley::test::harness

@@ -1,0 +1,101 @@
+#pragma once
+// Sequential-specification oracles: the reference semantics the concurrent
+// structures are checked against. A MapOracle is a plain std::map, a
+// QueueOracle a plain std::deque; apply() executes one recorded operation
+// against the reference state and reports the result the specification
+// demands. The checkers compare that to what the real structure returned.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "harness/history.hpp"
+
+namespace medley::test::harness {
+
+/// Result of applying one operation to an oracle, in OpRecord encoding.
+struct OracleResult {
+  bool ok = false;
+  std::uint64_t out = 0;
+};
+
+/// Sequential map/set-with-values specification over std::map.
+class MapOracle {
+ public:
+  MapOracle() = default;
+  explicit MapOracle(std::map<std::uint64_t, std::uint64_t> initial)
+      : m_(std::move(initial)) {}
+
+  OracleResult apply(const OpRecord& r) {
+    switch (r.kind) {
+      case OpKind::Get: {
+        auto it = m_.find(r.key);
+        if (it == m_.end()) return {false, 0};
+        return {true, it->second};
+      }
+      case OpKind::Contains:
+        return {m_.count(r.key) != 0, 0};
+      case OpKind::Insert: {
+        auto [it, inserted] = m_.emplace(r.key, r.val);
+        (void)it;
+        return {inserted, 0};
+      }
+      case OpKind::Remove: {
+        auto it = m_.find(r.key);
+        if (it == m_.end()) return {false, 0};
+        OracleResult res{true, it->second};
+        m_.erase(it);
+        return res;
+      }
+      case OpKind::Put: {
+        auto it = m_.find(r.key);
+        if (it == m_.end()) {
+          m_.emplace(r.key, r.val);
+          return {false, 0};
+        }
+        OracleResult res{true, it->second};
+        it->second = r.val;
+        return res;
+      }
+      default:
+        return {false, 0};  // queue ops are not map ops
+    }
+  }
+
+  const std::map<std::uint64_t, std::uint64_t>& state() const { return m_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> m_;
+};
+
+/// Sequential FIFO specification over std::deque.
+class QueueOracle {
+ public:
+  QueueOracle() = default;
+  explicit QueueOracle(std::deque<std::uint64_t> initial)
+      : q_(std::move(initial)) {}
+
+  OracleResult apply(const OpRecord& r) {
+    switch (r.kind) {
+      case OpKind::Enqueue:
+        q_.push_back(r.key);
+        return {true, 0};
+      case OpKind::Dequeue: {
+        if (q_.empty()) return {false, 0};
+        OracleResult res{true, q_.front()};
+        q_.pop_front();
+        return res;
+      }
+      default:
+        return {false, 0};  // map ops are not queue ops
+    }
+  }
+
+  const std::deque<std::uint64_t>& state() const { return q_; }
+
+ private:
+  std::deque<std::uint64_t> q_;
+};
+
+}  // namespace medley::test::harness

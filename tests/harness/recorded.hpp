@@ -1,0 +1,125 @@
+#pragma once
+// Recording adapters: wrap a structure-under-test so every operation a
+// worker performs lands in the Recorder with its observed result and its
+// global-clock interval. The adapters are interface templates — any map
+// with insert/get/remove(/put/contains) or queue with enqueue/dequeue in
+// the repo's common shape works (MichaelHashTable, FraserSkiplist,
+// NatarajanBST, RotatingSkiplist, MSQueue, ...).
+//
+// The `slot` argument is the worker's log slot (0..threads-1), not the
+// dense ThreadRegistry id: logs are owned by the test, not the runtime.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "harness/history.hpp"
+
+namespace medley::test::harness {
+
+template <typename M>
+class RecordedMap {
+ public:
+  RecordedMap(M* m, Recorder* rec) : m_(m), rec_(rec) {}
+
+  std::optional<std::uint64_t> get(int slot, std::uint64_t k) {
+    OpRecord r{slot, OpKind::Get, k, 0, false, 0, rec_->tick(), 0};
+    auto v = m_->get(k);
+    r.end = rec_->tick();
+    r.ok = v.has_value();
+    r.out = v.value_or(0);
+    rec_->log(slot, r);
+    return v;
+  }
+
+  bool contains(int slot, std::uint64_t k) {
+    OpRecord r{slot, OpKind::Contains, k, 0, false, 0, rec_->tick(), 0};
+    r.ok = m_->contains(k);
+    r.end = rec_->tick();
+    rec_->log(slot, r);
+    return r.ok;
+  }
+
+  bool insert(int slot, std::uint64_t k, std::uint64_t v) {
+    OpRecord r{slot, OpKind::Insert, k, v, false, 0, rec_->tick(), 0};
+    r.ok = m_->insert(k, v);
+    r.end = rec_->tick();
+    rec_->log(slot, r);
+    return r.ok;
+  }
+
+  std::optional<std::uint64_t> remove(int slot, std::uint64_t k) {
+    OpRecord r{slot, OpKind::Remove, k, 0, false, 0, rec_->tick(), 0};
+    auto v = m_->remove(k);
+    r.end = rec_->tick();
+    r.ok = v.has_value();
+    r.out = v.value_or(0);
+    rec_->log(slot, r);
+    return v;
+  }
+
+  std::optional<std::uint64_t> put(int slot, std::uint64_t k,
+                                   std::uint64_t v) {
+    OpRecord r{slot, OpKind::Put, k, v, false, 0, rec_->tick(), 0};
+    auto prev = m_->put(k, v);
+    r.end = rec_->tick();
+    r.ok = prev.has_value();
+    r.out = prev.value_or(0);
+    rec_->log(slot, r);
+    return prev;
+  }
+
+ private:
+  M* m_;
+  Recorder* rec_;
+};
+
+template <typename Q>
+class RecordedQueue {
+ public:
+  RecordedQueue(Q* q, Recorder* rec) : q_(q), rec_(rec) {}
+
+  void enqueue(int slot, std::uint64_t v) {
+    OpRecord r{slot, OpKind::Enqueue, v, 0, true, 0, rec_->tick(), 0};
+    q_->enqueue(v);
+    r.end = rec_->tick();
+    rec_->log(slot, r);
+  }
+
+  std::optional<std::uint64_t> dequeue(int slot) {
+    OpRecord r{slot, OpKind::Dequeue, 0, 0, false, 0, rec_->tick(), 0};
+    auto v = q_->dequeue();
+    r.end = rec_->tick();
+    r.ok = v.has_value();
+    r.out = v.value_or(0);
+    rec_->log(slot, r);
+    return v;
+  }
+
+ private:
+  Q* q_;
+  Recorder* rec_;
+};
+
+/// Rebuild a map's observable state (for check_set_history's final_state)
+/// from its slow iteration helpers.
+template <typename M>
+std::map<std::uint64_t, std::uint64_t> observed_state(M& m) {
+  std::map<std::uint64_t, std::uint64_t> s;
+  for (auto k : m.keys_slow()) {
+    auto v = m.get(k);
+    if (v) s[k] = *v;
+  }
+  return s;
+}
+
+/// Drain a queue to emptiness (for check_queue_history's final_drain).
+template <typename Q>
+std::vector<std::uint64_t> drain(Q& q) {
+  std::vector<std::uint64_t> out;
+  while (auto v = q.dequeue()) out.push_back(*v);
+  return out;
+}
+
+}  // namespace medley::test::harness

@@ -1,0 +1,165 @@
+#pragma once
+// Deterministic multi-threaded schedule driver.
+//
+// ScheduleDriver runs N *real* OS threads (so thread-local transaction
+// contexts, EBR slots, and dense thread ids are all genuine) but steps them
+// one operation at a time according to an explicit interleaving: entry j of
+// the schedule names the logical thread that executes its next step at
+// global step j. The resulting history is serialized — operation intervals
+// never overlap — so the exact sequential-spec checkers apply, while the
+// interleaving across threads is still chosen freely. This is how tests pin
+// down conflict scenarios ("t0 reads, t1 commits a remove, t0 tries to
+// commit") that a free-running stress test only hits by luck.
+//
+// Steps must not block waiting for another logical thread's step (they run
+// under mutual exclusion). A step that throws marks its thread failed; the
+// driver skips the thread's remaining steps, finishes the schedule, and
+// rethrows the first failure from run(). Steps that expect
+// TransactionAborted should catch it themselves.
+//
+// run_seeded() is the reproducible *free-running* counterpart used with the
+// concurrent invariant checkers: per-thread RNGs derive from one seed, so a
+// failure reproduces by re-running the same seed (modulo OS scheduling).
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace medley::test::harness {
+
+class ScheduleDriver {
+ public:
+  using Step = std::function<void()>;
+
+  /// Register a logical thread; returns its index (used in schedules).
+  int add_thread(std::vector<Step> steps) {
+    threads_.push_back(std::move(steps));
+    return static_cast<int>(threads_.size()) - 1;
+  }
+
+  /// Execute the given interleaving. Every thread's steps must be consumed
+  /// exactly once, in thread-local order.
+  void run(const std::vector<int>& schedule) {
+    validate(schedule);
+    std::vector<std::thread> workers;
+    workers.reserve(threads_.size());
+    cursor_ = 0;
+    failed_.assign(threads_.size(), false);
+    first_error_ = nullptr;
+    schedule_ = &schedule;
+    for (std::size_t t = 0; t < threads_.size(); t++) {
+      workers.emplace_back([this, t] { worker(static_cast<int>(t)); });
+    }
+    for (auto& w : workers) w.join();
+    schedule_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+  /// Round-robin schedule over the registered threads.
+  std::vector<int> round_robin() const {
+    std::vector<std::size_t> next(threads_.size(), 0);
+    std::vector<int> s;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t t = 0; t < threads_.size(); t++) {
+        if (next[t] < threads_[t].size()) {
+          s.push_back(static_cast<int>(t));
+          next[t]++;
+          progress = true;
+        }
+      }
+    }
+    return s;
+  }
+
+  /// Seeded random interleaving (deterministic given the seed).
+  std::vector<int> shuffled(std::uint64_t seed) const {
+    std::vector<int> s;
+    for (std::size_t t = 0; t < threads_.size(); t++) {
+      s.insert(s.end(), threads_[t].size(), static_cast<int>(t));
+    }
+    util::Xoshiro256 rng(seed);
+    for (std::size_t i = s.size(); i > 1; i--) {
+      std::swap(s[i - 1], s[rng.next_bounded(i)]);
+    }
+    return s;
+  }
+
+ private:
+  void validate(const std::vector<int>& schedule) const {
+    std::vector<std::size_t> counts(threads_.size(), 0);
+    for (int t : schedule) {
+      if (t < 0 || static_cast<std::size_t>(t) >= threads_.size()) {
+        throw std::invalid_argument("schedule names unknown thread");
+      }
+      counts[static_cast<std::size_t>(t)]++;
+    }
+    for (std::size_t t = 0; t < threads_.size(); t++) {
+      if (counts[t] != threads_[t].size()) {
+        throw std::invalid_argument(
+            "schedule step count does not match thread's steps");
+      }
+    }
+  }
+
+  void worker(int me) {
+    std::size_t next_step = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [&] {
+        return cursor_ >= schedule_->size() || (*schedule_)[cursor_] == me;
+      });
+      if (cursor_ >= schedule_->size()) return;
+      if (next_step >= threads_[static_cast<std::size_t>(me)].size()) return;
+      Step& step = threads_[static_cast<std::size_t>(me)][next_step++];
+      if (!failed_[static_cast<std::size_t>(me)]) {
+        // Run the step under the lock: serialization is the whole point.
+        try {
+          step();
+        } catch (...) {
+          failed_[static_cast<std::size_t>(me)] = true;
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
+      cursor_++;
+      cv_.notify_all();
+      if (next_step == threads_[static_cast<std::size_t>(me)].size()) return;
+    }
+  }
+
+  std::vector<std::vector<Step>> threads_;
+  const std::vector<int>* schedule_ = nullptr;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t cursor_ = 0;
+  std::vector<bool> failed_;
+  std::exception_ptr first_error_;
+};
+
+/// Reproducible free run: `body(tid, rng)` on `n` threads, each rng seeded
+/// deterministically from `seed` and the thread index.
+inline void run_seeded(
+    int n, std::uint64_t seed,
+    const std::function<void(int, util::Xoshiro256&)>& body) {
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; i++) {
+    ts.emplace_back([&, i] {
+      util::Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL +
+                           static_cast<std::uint64_t>(i) + 1);
+      body(i, rng);
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace medley::test::harness

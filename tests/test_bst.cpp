@@ -177,3 +177,61 @@ TEST(Bst, ReadEvidenceAcrossPendingDeleteAborts) {
   EXPECT_TRUE(aborted);
   EXPECT_FALSE(t.contains(5));
 }
+
+// ---------------------------------------------------------------------
+// Harness-driven oracle checks (tests/harness/).
+
+namespace h = medley::test::harness;
+
+TEST(BstOracle, DeterministicInterleavingMatchesStdMap) {
+  TxManager mgr;
+  BST b(&mgr);
+  h::Recorder rec;
+  h::RecordedMap<BST> rm(&b, &rec);
+  h::ScheduleDriver d;
+  for (int t = 0; t < 3; t++) {
+    std::vector<h::ScheduleDriver::Step> steps;
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 31);
+    for (int i = 0; i < 60; i++) {
+      const auto k = rng.next_bounded(10);
+      const auto v = rng.next();
+      switch (rng.next_bounded(4)) {
+        case 0: steps.push_back([&rm, t, k, v] { rm.insert(t, k, v); }); break;
+        case 1: steps.push_back([&rm, t, k] { rm.remove(t, k); }); break;
+        case 2: steps.push_back([&rm, t, k] { rm.contains(t, k); }); break;
+        default: steps.push_back([&rm, t, k] { rm.get(t, k); }); break;
+      }
+    }
+    d.add_thread(std::move(steps));
+  }
+  d.run(d.shuffled(7));
+  EXPECT_TRUE(h::check_sequential_map(rec.history()));
+  EXPECT_TRUE(b.invariants_hold_slow());
+}
+
+TEST(BstOracle, ConcurrentHistorySatisfiesSetInvariants) {
+  TxManager mgr;
+  BST b(&mgr);
+  std::map<std::uint64_t, std::uint64_t> initial;
+  for (std::uint64_t k = 1; k <= 15; k += 3) {
+    b.insert(k, k + 9000);
+    initial[k] = k + 9000;
+  }
+  h::Recorder rec;
+  h::RecordedMap<BST> rm(&b, &rec);
+  h::run_seeded(6, 44, [&](int t, medley::util::Xoshiro256& rng) {
+    for (int i = 0; i < 1200; i++) {
+      const auto k = rng.next_bounded(32);
+      const auto v = (static_cast<std::uint64_t>(t) << 32) |
+                     static_cast<std::uint64_t>(i);
+      switch (rng.next_bounded(3)) {
+        case 0: rm.insert(t, k, v); break;
+        case 1: rm.remove(t, k); break;
+        default: rm.get(t, k); break;
+      }
+    }
+  });
+  EXPECT_TRUE(
+      h::check_set_history(rec.history(), initial, h::observed_state(b)));
+  EXPECT_TRUE(b.invariants_hold_slow());
+}

@@ -361,3 +361,63 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, HashTableSweep,
     ::testing::Combine(::testing::Values(1, 2, 4, 8),
                        ::testing::Values(1, 16, 256)));
+
+// ---------------------------------------------------------------------
+// Harness-driven oracle checks (tests/harness/): exact sequential-spec
+// replay under a deterministic interleaving, then sound invariants over a
+// genuinely concurrent history.
+
+namespace h = medley::test::harness;
+
+TEST(HashTableOracle, DeterministicInterleavingMatchesStdMap) {
+  TxManager mgr;
+  Map m(&mgr, 32);
+  h::Recorder rec;
+  h::RecordedMap<Map> rm(&m, &rec);
+  h::ScheduleDriver d;
+  for (int t = 0; t < 3; t++) {
+    std::vector<h::ScheduleDriver::Step> steps;
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 11);
+    for (int i = 0; i < 60; i++) {
+      const auto k = rng.next_bounded(12);
+      const auto v = rng.next();
+      switch (rng.next_bounded(5)) {
+        case 0: steps.push_back([&rm, t, k, v] { rm.insert(t, k, v); }); break;
+        case 1: steps.push_back([&rm, t, k] { rm.remove(t, k); }); break;
+        case 2: steps.push_back([&rm, t, k, v] { rm.put(t, k, v); }); break;
+        case 3: steps.push_back([&rm, t, k] { rm.contains(t, k); }); break;
+        default: steps.push_back([&rm, t, k] { rm.get(t, k); }); break;
+      }
+    }
+    d.add_thread(std::move(steps));
+  }
+  d.run(d.shuffled(2026));
+  EXPECT_TRUE(h::check_sequential_map(rec.history()));
+}
+
+TEST(HashTableOracle, ConcurrentHistorySatisfiesSetInvariants) {
+  TxManager mgr;
+  ListMap m(&mgr, 4);  // degenerate buckets: maximal interleaving
+  std::map<std::uint64_t, std::uint64_t> initial;
+  for (std::uint64_t k = 0; k < 8; k++) {
+    m.insert(k, k + 5000);
+    initial[k] = k + 5000;
+  }
+  h::Recorder rec;
+  h::RecordedMap<ListMap> rm(&m, &rec);
+  h::run_seeded(6, 42, [&](int t, medley::util::Xoshiro256& rng) {
+    for (int i = 0; i < 1500; i++) {
+      const auto k = rng.next_bounded(24);
+      const auto v = (static_cast<std::uint64_t>(t) << 32) |
+                     static_cast<std::uint64_t>(i);
+      switch (rng.next_bounded(4)) {
+        case 0: rm.insert(t, k, v); break;
+        case 1: rm.remove(t, k); break;
+        case 2: rm.put(t, k, v); break;
+        default: rm.get(t, k); break;
+      }
+    }
+  });
+  EXPECT_TRUE(
+      h::check_set_history(rec.history(), initial, h::observed_state(m)));
+}

@@ -298,3 +298,55 @@ TEST_P(MsQueueSweep, ConcurrentChurnEndsCoherent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, MsQueueSweep, ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------
+// Harness-driven oracle checks (tests/harness/).
+
+namespace h = medley::test::harness;
+
+TEST(MsQueueOracle, DeterministicInterleavingMatchesStdDeque) {
+  TxManager mgr;
+  Q q(&mgr);
+  h::Recorder rec;
+  h::RecordedQueue<Q> rq(&q, &rec);
+  h::ScheduleDriver d;
+  for (int t = 0; t < 3; t++) {
+    std::vector<h::ScheduleDriver::Step> steps;
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 41);
+    for (int i = 0; i < 80; i++) {
+      const auto v = (static_cast<std::uint64_t>(t) << 32) |
+                     static_cast<std::uint64_t>(i);
+      if (rng.next_bounded(3) != 0) {
+        steps.push_back([&rq, t, v] { rq.enqueue(t, v); });
+      } else {
+        steps.push_back([&rq, t] { rq.dequeue(t); });
+      }
+    }
+    d.add_thread(std::move(steps));
+  }
+  d.run(d.shuffled(404));
+  EXPECT_TRUE(h::check_sequential_queue(rec.history()));
+}
+
+TEST(MsQueueOracle, ConcurrentHistorySatisfiesFifoInvariants) {
+  TxManager mgr;
+  Q q(&mgr);
+  h::Recorder rec;
+  h::RecordedQueue<Q> rq(&q, &rec);
+  // 3 producers enqueue unique tagged values, 3 consumers drain; checker
+  // verifies no loss, no duplication, no invention, and interval-FIFO.
+  h::run_seeded(6, 45, [&](int t, medley::util::Xoshiro256& rng) {
+    if (t < 3) {
+      for (int i = 0; i < 2000; i++) {
+        rq.enqueue(t, (static_cast<std::uint64_t>(t) << 32) |
+                          static_cast<std::uint64_t>(i));
+      }
+    } else {
+      for (int i = 0; i < 2000; i++) {
+        rq.dequeue(t);
+        if ((rng.next() & 7) == 0) std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_TRUE(h::check_queue_history(rec.history(), {}, h::drain(q)));
+}

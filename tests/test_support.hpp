@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/medley.hpp"
+#include "harness/harness.hpp"
 
 namespace medley::test {
 

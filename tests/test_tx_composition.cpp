@@ -311,3 +311,133 @@ TEST_P(CompositionSweep, TokenRingConservation) {
 INSTANTIATE_TEST_SUITE_P(Shapes, CompositionSweep,
                          ::testing::Combine(::testing::Values(1, 2, 4, 8),
                                             ::testing::Values(100, 400)));
+
+// ---------------------------------------------------------------------
+// Harness-driven oracle checks at *transaction* granularity: each step of
+// the deterministic schedule is one whole transaction over a queue + two
+// maps, mirrored into the sequential oracles only when it commits. Because
+// ScheduleDriver serializes steps, the committed-transaction order is a
+// legal serialization and the final structure states must match the
+// oracles exactly.
+
+namespace h = medley::test::harness;
+
+TEST(CompositionOracle, CommittedTransactionsReplayAgainstOracles) {
+  TxManager mgr;
+  Queue q(&mgr);
+  Hash ht(&mgr, 32);
+  Skip sl(&mgr);
+  h::MapOracle ht_oracle, sl_oracle;
+  h::QueueOracle q_oracle;
+
+  auto mirror_map = [](h::MapOracle& o, h::OpKind kind, std::uint64_t k,
+                       std::uint64_t v) {
+    o.apply(h::OpRecord{0, kind, k, v, false, 0, 0, 0});
+  };
+
+  h::ScheduleDriver d;
+  for (int t = 0; t < 4; t++) {
+    std::vector<h::ScheduleDriver::Step> steps;
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 55);
+    for (int i = 0; i < 40; i++) {
+      const auto k = rng.next_bounded(16);
+      const auto v = (static_cast<std::uint64_t>(t) << 32) |
+                     static_cast<std::uint64_t>(i);
+      const auto choice = rng.next_bounded(4);
+      steps.push_back([&, k, v, choice] {
+        try {
+          mgr.txBegin();
+          switch (choice) {
+            case 0:  // enqueue + tag both maps
+              q.enqueue(v);
+              ht.put(k, v);
+              sl.insert(k, v);
+              break;
+            case 1: {  // move head of queue into the hash table
+              auto head = q.dequeue();
+              if (!head) mgr.txAbort();
+              ht.put(*head % 16, *head);
+              break;
+            }
+            case 2:  // cross-structure swap: remove from skiplist into ht
+              if (auto sv = sl.remove(k)) ht.put(k, *sv + 1);
+              break;
+            default:  // read-mostly tx with a deliberate user abort
+              ht.get(k);
+              sl.get(k);
+              mgr.txAbort();
+          }
+          mgr.txEnd();
+          // Committed: replay identical effects into the oracles.
+          switch (choice) {
+            case 0:
+              q_oracle.apply(h::OpRecord{0, h::OpKind::Enqueue, v, 0, false,
+                                         0, 0, 0});
+              mirror_map(ht_oracle, h::OpKind::Put, k, v);
+              mirror_map(sl_oracle, h::OpKind::Insert, k, v);
+              break;
+            case 1: {
+              auto head = q_oracle.apply(
+                  h::OpRecord{0, h::OpKind::Dequeue, 0, 0, false, 0, 0, 0});
+              ASSERT_TRUE(head.ok);  // structure committed, so oracle must pop
+              mirror_map(ht_oracle, h::OpKind::Put, head.out % 16, head.out);
+              break;
+            }
+            case 2: {
+              auto rem = sl_oracle.apply(
+                  h::OpRecord{0, h::OpKind::Remove, k, 0, false, 0, 0, 0});
+              if (rem.ok) mirror_map(ht_oracle, h::OpKind::Put, k, rem.out + 1);
+              break;
+            }
+            default:
+              break;
+          }
+        } catch (const TransactionAborted&) {
+          // Aborted: no effects, oracles untouched.
+        }
+      });
+    }
+    d.add_thread(std::move(steps));
+  }
+  d.run(d.shuffled(606));
+
+  // Final states must coincide exactly with the sequential specs.
+  std::map<std::uint64_t, std::uint64_t> ht_state, sl_state;
+  for (auto k : ht.keys_slow()) ht_state[k] = *ht.get(k);
+  for (auto k : sl.keys_slow()) sl_state[k] = *sl.get(k);
+  EXPECT_EQ(ht_state, ht_oracle.state());
+  EXPECT_EQ(sl_state, sl_oracle.state());
+  std::deque<std::uint64_t> q_state;
+  while (auto v = q.dequeue()) q_state.push_back(*v);
+  EXPECT_EQ(q_state, q_oracle.state());
+}
+
+TEST(CompositionOracle, ConcurrentTransfersKeepHistoriesSound) {
+  // Free-running transactional churn between a hash table and a skiplist,
+  // recorded at operation granularity *outside* transactions (each step is
+  // its own implicit transaction), checked with the concurrent invariants.
+  TxManager mgr;
+  Hash ht(&mgr, 64);
+  h::Recorder rec;
+  h::RecordedMap<Hash> rm(&ht, &rec);
+  std::map<std::uint64_t, std::uint64_t> initial;
+  for (std::uint64_t k = 0; k < 12; k++) {
+    ht.insert(k, k);
+    initial[k] = k;
+  }
+  h::run_seeded(5, 77, [&](int t, medley::util::Xoshiro256& rng) {
+    for (int i = 0; i < 900; i++) {
+      const auto k = rng.next_bounded(20);
+      const auto v = (static_cast<std::uint64_t>(t) << 32) |
+                     static_cast<std::uint64_t>(i);
+      switch (rng.next_bounded(4)) {
+        case 0: rm.insert(t, k, v); break;
+        case 1: rm.remove(t, k); break;
+        case 2: rm.put(t, k, v); break;
+        default: rm.get(t, k); break;
+      }
+    }
+  });
+  EXPECT_TRUE(
+      h::check_set_history(rec.history(), initial, h::observed_state(ht)));
+}

@@ -283,3 +283,225 @@ TEST(TxManager, AbortReasonTaxonomyReported) {
     EXPECT_NE(std::string(e.what()).find("user"), std::string::npos);
   }
 }
+
+// ---------------------------------------------------------------------
+// Abort paths: explicit user aborts, conflict-induced aborts pinned down
+// with the deterministic schedule driver, and run_tx retry accounting.
+
+namespace h = medley::test::harness;
+
+TEST(TxAbortPaths, ExplicitAbortRollsBackAndCounts) {
+  TxManager mgr;
+  mgr.reset_stats();
+  U64Obj a(5);
+  try {
+    mgr.txBegin();
+    auto v = a.nbtcLoad();
+    EXPECT_TRUE(a.nbtcCAS(v, v + 100, true, true));
+    mgr.txAbort();
+    FAIL() << "txAbort must throw";
+  } catch (const TransactionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::User);
+  }
+  EXPECT_EQ(a.load(), 5u);  // speculative write rolled back
+  auto st = mgr.stats();
+  EXPECT_EQ(st.aborts, 1u);
+  EXPECT_EQ(st.user_aborts, 1u);
+  EXPECT_EQ(st.commits, 0u);
+}
+
+TEST(TxAbortPaths, DeterministicValidationAbort) {
+  // t0 reads inside a transaction; t1 overwrites the cell and commits
+  // before t0 reaches txEnd. The exact interleaving is pinned by the
+  // schedule driver, so the abort is guaranteed, not probabilistic.
+  TxManager mgr;
+  Harness hx(&mgr);
+  mgr.reset_stats();
+  U64Obj a(1);
+  std::optional<AbortReason> reason;
+
+  h::ScheduleDriver d;
+  d.add_thread({
+      [&] {
+        mgr.txBegin();
+        auto v = a.nbtcLoad();
+        EXPECT_EQ(v, 1u);
+        hx.addToReadSet(&a, v);  // the linearizing read of a lookup
+      },
+      [&] {
+        try {
+          mgr.txEnd();
+        } catch (const TransactionAborted& e) {
+          reason = e.reason();
+        }
+      },
+  });
+  d.add_thread({
+      [&] { EXPECT_TRUE(a.CAS(1, 2)); },  // non-transactional interference
+  });
+  d.run({0, 1, 0});
+
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, AbortReason::Validation);
+  EXPECT_EQ(a.load(), 2u);  // the interferer's value survived
+  auto st = mgr.stats();
+  EXPECT_EQ(st.validation_aborts, 1u);
+  EXPECT_EQ(st.commits, 0u);
+}
+
+TEST(TxAbortPaths, DeterministicConflictAbortViaHelper) {
+  // t0 installs its descriptor on `a` (speculative CAS), then t1 touches
+  // the same cell from outside any transaction. The helper path must
+  // finalize t0's InPrep descriptor as Aborted; t0 then discovers the
+  // forced abort at commit.
+  TxManager mgr;
+  mgr.reset_stats();
+  U64Obj a(10);
+  std::optional<AbortReason> reason;
+  std::uint64_t t1_observed = 0;
+
+  h::ScheduleDriver d;
+  d.add_thread({
+      [&] {
+        mgr.txBegin();
+        auto v = a.nbtcLoad();
+        EXPECT_TRUE(a.nbtcCAS(v, v + 1, true, true));  // descriptor installed
+      },
+      [&] {
+        try {
+          mgr.txEnd();
+        } catch (const TransactionAborted& e) {
+          reason = e.reason();
+        }
+      },
+  });
+  d.add_thread({
+      [&] { t1_observed = a.load(); },  // helps: finalizes t0's descriptor
+  });
+  d.run({0, 1, 0});
+
+  // The helper aborted the InPrep transaction, so t1 read the old value.
+  EXPECT_EQ(t1_observed, 10u);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, AbortReason::Conflict);
+  EXPECT_EQ(a.load(), 10u);
+  EXPECT_EQ(mgr.stats().conflict_aborts, 1u);
+}
+
+TEST(TxAbortPaths, RunTxUserAbortNotRetriedByDefault) {
+  TxManager mgr;
+  mgr.reset_stats();
+  int attempts = 0;
+  auto aborts = medley::run_tx(mgr, [&] {
+    attempts++;
+    mgr.txAbort();
+  });
+  EXPECT_EQ(attempts, 1);  // user abort: give up, don't retry
+  EXPECT_EQ(aborts, 1u);
+  EXPECT_EQ(mgr.stats().user_aborts, 1u);
+}
+
+TEST(TxAbortPaths, RunTxRetriesUserAbortWhenAsked) {
+  TxManager mgr;
+  mgr.reset_stats();
+  int attempts = 0;
+  auto aborts = medley::run_tx(
+      mgr,
+      [&] {
+        attempts++;
+        if (attempts < 4) mgr.txAbort();  // bail three times, then commit
+      },
+      /*retry_on_user_abort=*/true);
+  EXPECT_EQ(attempts, 4);
+  EXPECT_EQ(aborts, 3u);
+  auto st = mgr.stats();
+  EXPECT_EQ(st.user_aborts, 3u);
+  EXPECT_EQ(st.commits, 1u);
+}
+
+TEST(TxAbortPaths, RunTxCountsConflictRetries) {
+  // Deterministically force exactly one validation abort, then commit:
+  // run_tx must report exactly one retry.
+  TxManager mgr;
+  Harness hx(&mgr);
+  mgr.reset_stats();
+  U64Obj a(0);
+  int attempts = 0;
+
+  h::ScheduleDriver d;
+  d.add_thread({
+      [&] {
+        // Attempt 1 spans two steps via a manual begin/read...
+        mgr.txBegin();
+        attempts++;
+        hx.addToReadSet(&a, a.nbtcLoad());
+      },
+      [&] {
+        // ...its txEnd fails (t1 interfered), then run_tx-style retry
+        // commits cleanly in the same step.
+        bool first_failed = false;
+        try {
+          mgr.txEnd();
+        } catch (const TransactionAborted&) {
+          first_failed = true;
+        }
+        EXPECT_TRUE(first_failed);
+        auto aborts = medley::run_tx(mgr, [&] {
+          attempts++;
+          auto v = a.nbtcLoad();
+          EXPECT_TRUE(a.nbtcCAS(v, v + 1, true, true));
+        });
+        EXPECT_EQ(aborts, 0u);
+      },
+  });
+  d.add_thread({
+      [&] { EXPECT_TRUE(a.CAS(0, 7)); },
+  });
+  d.run({0, 1, 0});
+
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(a.load(), 8u);
+  auto st = mgr.stats();
+  EXPECT_EQ(st.commits, 1u);
+  EXPECT_EQ(st.validation_aborts, 1u);
+}
+
+TEST(TxAbortPaths, AbortedTransactionLeavesThreadReusable) {
+  // After every flavour of abort the thread must be able to run a fresh
+  // committing transaction.
+  TxManager mgr;
+  U64Obj a(0);
+  for (int round = 0; round < 3; round++) {
+    try {
+      mgr.txBegin();
+      auto v = a.nbtcLoad();
+      a.nbtcCAS(v, v + 1, true, true);
+      mgr.txAbort();
+    } catch (const TransactionAborted&) {
+    }
+    EXPECT_FALSE(mgr.in_tx());
+    medley::run_tx(mgr, [&] {
+      auto v = a.nbtcLoad();
+      EXPECT_TRUE(a.nbtcCAS(v, v + 10, true, true));
+    });
+  }
+  EXPECT_EQ(a.load(), 30u);
+}
+
+TEST(TxAbortPaths, CapacityAbortIsRetriedByRunTx) {
+  // txAbortCapacity models transient resource exhaustion (e.g. Montage
+  // region full until the next epoch advance); run_tx must retry it even
+  // with default settings, unlike a user abort.
+  TxManager mgr;
+  mgr.reset_stats();
+  int attempts = 0;
+  auto aborts = medley::run_tx(mgr, [&] {
+    if (++attempts < 3) mgr.txAbortCapacity();
+  });
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(aborts, 2u);
+  auto st = mgr.stats();
+  EXPECT_EQ(st.capacity_aborts, 2u);
+  EXPECT_EQ(st.commits, 1u);
+  EXPECT_THROW(mgr.txAbortCapacity(), std::logic_error);  // outside any tx
+}
