@@ -1,0 +1,295 @@
+// YCSB-style serving-layer workloads over MedleyStore (ROADMAP "new
+// workloads"): the first benchmark family driving the composed hot path
+// (hash primary + ordered secondary + change feed, one transaction per
+// store operation).
+//
+// Workloads (the YCSB core suite; zipfian theta 0.99):
+//   A update-heavy   50% read / 50% put
+//   B read-mostly    95% read /  5% put
+//   C read-only     100% read
+//   D read-latest    95% read skewed to recent keys / 5% insert (new keys)
+//   E short-ranges   95% scan (length 1..64) / 5% insert
+//   F read-modify-write  50% read / 50% atomic rmw
+//
+// Systems:
+//   MedleyStore         — feed enabled; every mutator drains up to 2 feed
+//                         entries inline after each mutation (a replication
+//                         tap that keeps up), so the feed's totally ordered
+//                         tail contention is fully priced in;
+//   MedleyStore-nofeed  — identical but feed disabled: the ablation
+//                         isolating what the ordered change feed costs;
+//   PersistentMedleyStore — txMontage indexes (epoch advancer at 10 ms):
+//                         the durability premium on the same workloads.
+//
+// Output is google-benchmark JSON in the same shape as the figure benches:
+// items_per_second = committed store operations/s; aborts_per_tx and
+// retries_per_tx from exact per-thread StoreStats deltas.
+//
+// Scale: default is the CI scale; MEDLEY_PAPER=1 for paper scale;
+// MEDLEY_YCSB_SMOKE=1 for the CI smoke step (tiny key space, 2 threads).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fig_common.hpp"
+#include "montage/txmontage.hpp"
+#include "store/store.hpp"
+#include "util/rng.hpp"
+
+namespace mb = medley::bench;
+namespace ms = medley::store;
+using DramStoreU64 = ms::MedleyStore<std::uint64_t, std::uint64_t>;
+
+namespace {
+
+constexpr double kZipfTheta = 0.99;     // the YCSB default
+constexpr std::uint64_t kLatestWindow = 1024;  // D's "recent keys" horizon
+constexpr std::uint64_t kMaxScanLen = 64;
+
+struct YcsbScale {
+  std::size_t records;  // preloaded keys 1..records (dense)
+  double min_time;
+  std::vector<int> threads;
+
+  static const YcsbScale& get() {
+    static YcsbScale sc = [] {
+      const char* smoke = std::getenv("MEDLEY_YCSB_SMOKE");
+      if (smoke != nullptr && smoke[0] == '1') {
+        return YcsbScale{512, 0.1, {2}};
+      }
+      const char* paper = std::getenv("MEDLEY_PAPER");
+      if (paper != nullptr && paper[0] == '1') {
+        return YcsbScale{500'000, 3.0, {1, 2, 4, 8, 16, 40, 80}};
+      }
+      return YcsbScale{20'000, 0.15, {1, 2, 4, 8}};
+    }();
+    return sc;
+  }
+};
+
+struct Mix {
+  const char* label;
+  int read_w, put_w, ins_w, scan_w, rmw_w;  // sum to 100
+  bool latest;  // reads skew to recently inserted keys (workload D)
+};
+
+const std::vector<Mix>& mixes() {
+  static const std::vector<Mix> m = {
+      {"A", 50, 50, 0, 0, 0, false}, {"B", 95, 5, 0, 0, 0, false},
+      {"C", 100, 0, 0, 0, 0, false}, {"D", 95, 0, 5, 0, 0, true},
+      {"E", 0, 0, 5, 95, 0, false},  {"F", 50, 0, 0, 0, 50, false},
+  };
+  return m;
+}
+
+/// Per-thread key choosers; insert counters are shared adapter state.
+struct KeyDist {
+  medley::util::ZipfGenerator zipf;    // rank -> preloaded key
+  medley::util::ZipfGenerator recent;  // offset back from newest key
+  std::atomic<std::uint64_t>* next_insert;
+  std::atomic<std::uint64_t>* max_key;
+  std::uint64_t records;
+  // 0 = unbounded fresh keys (DRAM). Nonzero bounds the fresh-key window:
+  // inserts past records+wrap cycle back and overwrite the oldest fresh
+  // keys, so a persistent store's live payload count stays bounded — an
+  // unbounded D/E run would otherwise fill the region with never-retired
+  // payloads and spin in Capacity retries that nothing can free.
+  std::uint64_t insert_wrap;
+
+  std::uint64_t pick(medley::util::Xoshiro256& rng, const Mix& mix) {
+    (void)rng;
+    if (mix.latest) {
+      const std::uint64_t hi = max_key->load(std::memory_order_relaxed);
+      const std::uint64_t back = recent.next();
+      return back >= hi ? 1 : hi - back;
+    }
+    return zipf.next() + 1;
+  }
+
+  std::uint64_t fresh() {
+    std::uint64_t k = next_insert->fetch_add(1, std::memory_order_relaxed);
+    if (insert_wrap != 0) {
+      k = records + 1 + (k - records - 1) % insert_wrap;
+    }
+    // Monotonic max (racy fetch_max by CAS; exactness is irrelevant).
+    std::uint64_t m = max_key->load(std::memory_order_relaxed);
+    while (m < k && !max_key->compare_exchange_weak(
+                        m, k, std::memory_order_relaxed)) {
+    }
+    return k;
+  }
+};
+
+/// One YCSB operation against any store exposing the MedleyStore API.
+/// Mutators drain up to 2 feed entries inline when the feed is on.
+template <typename StoreT>
+void ycsb_op(StoreT& store, bool feed_on, medley::util::Xoshiro256& rng,
+             KeyDist& keys, const Mix& mix) {
+  const auto x = static_cast<int>(rng.next_bounded(100));
+  if (x < mix.read_w) {
+    benchmark::DoNotOptimize(store.get(keys.pick(rng, mix)));
+    return;
+  }
+  if (x < mix.read_w + mix.put_w) {
+    store.put(keys.pick(rng, mix), rng.next());
+  } else if (x < mix.read_w + mix.put_w + mix.ins_w) {
+    const std::uint64_t k = keys.fresh();
+    store.put(k, k);
+  } else if (x < mix.read_w + mix.put_w + mix.ins_w + mix.scan_w) {
+    benchmark::DoNotOptimize(
+        store.scan(keys.pick(rng, mix), 1 + rng.next_bounded(kMaxScanLen)));
+    return;
+  } else {
+    store.read_modify_write(
+        keys.pick(rng, mix), [](const std::optional<std::uint64_t>& c) {
+          return std::optional<std::uint64_t>(c.value_or(0) + 1);
+        });
+  }
+  if (feed_on) store.poll_feed(2);
+}
+
+template <bool kFeed>
+struct MedleyStoreAdapter {
+  static const char* name() {
+    return kFeed ? "MedleyStore" : "MedleyStore-nofeed";
+  }
+  static constexpr std::uint64_t kInsertWrap = 0;  // DRAM: unbounded
+
+  medley::TxManager mgr;
+  std::unique_ptr<DramStoreU64> store;
+  std::atomic<std::uint64_t> next_insert{0}, max_key{0};
+
+  void setup(const YcsbScale& sc) {
+    store = std::make_unique<DramStoreU64>(
+        &mgr, ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/kFeed});
+    for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
+    if (kFeed) {
+      while (!store->poll_feed(1024).empty()) {  // preload is not traffic
+      }
+    }
+    next_insert.store(sc.records + 1);
+    max_key.store(sc.records);
+  }
+
+  void op(medley::util::Xoshiro256& rng, KeyDist& keys, const Mix& mix) {
+    ycsb_op(*store, kFeed, rng, keys, mix);
+  }
+
+  ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
+};
+
+struct PersistentStoreAdapter {
+  static const char* name() { return "PersistentMedleyStore"; }
+  // Bound fresh-key inserts (workloads D/E) so live payloads stay within
+  // the region: (records + kInsertWrap) * 2 slots worst case, well under
+  // the capacity below, for any run length.
+  static constexpr std::uint64_t kInsertWrap = 1u << 15;
+
+  std::string path;
+  std::unique_ptr<medley::montage::PRegion> region;
+  std::unique_ptr<medley::montage::EpochSys> es;
+  medley::TxManager mgr;
+  std::unique_ptr<ms::PersistentMedleyStore> store;
+  std::atomic<std::uint64_t> next_insert{0}, max_key{0};
+
+  void setup(const YcsbScale& sc) {
+    path = "/tmp/medley_bench_ycsb.img";
+    std::remove(path.c_str());
+    region = std::make_unique<medley::montage::PRegion>(
+        path, sc.records * 4 + kInsertWrap * 2 + (1u << 17));
+    es = std::make_unique<medley::montage::EpochSys>(region.get());
+    es->attach(&mgr);
+    store = std::make_unique<ms::PersistentMedleyStore>(
+        &mgr, es.get(), /*sid=*/1,
+        ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/true});
+    for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
+    while (!store->poll_feed(1024).empty()) {
+    }
+    next_insert.store(sc.records + 1);
+    max_key.store(sc.records);
+    es->start_advancer(10);
+  }
+
+  ~PersistentStoreAdapter() {
+    if (es) es->stop_advancer();
+    store.reset();
+    es.reset();
+    region.reset();
+    std::remove(path.c_str());
+  }
+
+  void op(medley::util::Xoshiro256& rng, KeyDist& keys, const Mix& mix) {
+    ycsb_op(*store, /*feed_on=*/true, rng, keys, mix);
+  }
+
+  ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
+};
+
+template <typename Adapter>
+void run_ycsb_benchmark(benchmark::State& state) {
+  Adapter& sys = *mb::SystemHolder<Adapter>::get();
+  const Mix& mix = mixes()[static_cast<std::size_t>(state.range(0))];
+  const YcsbScale& sc = YcsbScale::get();
+  medley::util::Xoshiro256 rng(mb::thread_seed(state));
+  KeyDist keys{
+      medley::util::ZipfGenerator(sc.records, kZipfTheta,
+                                  mb::thread_seed(state) ^ 0x5eedULL),
+      medley::util::ZipfGenerator(kLatestWindow, kZipfTheta,
+                                  mb::thread_seed(state) ^ 0xfeedULL),
+      &sys.next_insert, &sys.max_key, sc.records, Adapter::kInsertWrap};
+
+  const auto before = sys.stats_mine();
+  for (auto _ : state) {
+    sys.op(rng, keys, mix);
+  }
+  const auto after = sys.stats_mine();
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["aborts_per_tx"] = benchmark::Counter(
+      static_cast<double>(after.aborts() - before.aborts()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["retries_per_tx"] = benchmark::Counter(
+      static_cast<double>(after.retries - before.retries),
+      benchmark::Counter::kAvgIterations);
+}
+
+template <typename Adapter>
+void register_ycsb() {
+  const YcsbScale& sc = YcsbScale::get();
+  for (std::size_t mi = 0; mi < mixes().size(); mi++) {
+    std::string name =
+        std::string("ycsb/") + Adapter::name() + "/mix:" + mixes()[mi].label;
+    auto* b = benchmark::RegisterBenchmark(name.c_str(),
+                                           run_ycsb_benchmark<Adapter>);
+    b->Arg(static_cast<int>(mi));
+    b->Setup([](const benchmark::State&) {
+      auto& slot = mb::SystemHolder<Adapter>::get();
+      slot = std::make_unique<Adapter>();
+      slot->setup(YcsbScale::get());
+    });
+    b->Teardown([](const benchmark::State&) {
+      mb::SystemHolder<Adapter>::get().reset();
+    });
+    b->UseRealTime();
+    b->MinTime(sc.min_time);
+    for (int t : sc.threads) b->Threads(t);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_ycsb<MedleyStoreAdapter<true>>();
+  register_ycsb<MedleyStoreAdapter<false>>();
+  register_ycsb<PersistentStoreAdapter>();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,28 @@
 // marginal cost (the paper's 1.8x / 2.2x numbers).
 //
 // Reclamation uses the same EBR so memory management costs match.
+//
+// WHY THIS IS A SEPARATE COPY (and must stay one): the obvious dedup —
+// templating ds/fraser_skiplist.hpp over a cell policy (CASObj vs plain
+// std::atomic) — would make the *baseline* read every pointer through the
+// policy indirection and keep the transform's structural hooks (OpStarter,
+// deferred-cleanup closures, Pos::succ0_next) in its instruction stream.
+// Fig. 10 exists precisely to measure the cost of those hooks; a shared
+// template would fold part of the measured quantity into the yardstick.
+// So this file stays a line-for-line transliteration instead. When
+// changing the algorithm in ds/fraser_skiplist.hpp, mirror the change
+// here. Intentional deltas, so "diff drift" stays auditable:
+//   * loads/CASes are raw std::atomic acquire/release, not nbtcLoad/
+//     nbtcCAS — that is the experiment;
+//   * insert links upper levels inline and remove retires after its own
+//     search directly, where the transform defers both via addToCleanups
+//     (outside a transaction the transformed code runs them immediately,
+//     so behaviour matches);
+//   * no read-set registration, no succ0_next, no tNew/tRetire — those
+//     ARE the transform;
+//   * no range()/scan(): Fig. 10 measures point-op latency only, and the
+//     transactional range has no meaning without a read set;
+//   * random_level() seeds differ (irrelevant to the measured shape).
 
 #include <atomic>
 #include <memory>

@@ -30,24 +30,60 @@ using core::OpStarter;
 using core::TransactionAborted;
 using core::TxManager;
 
+/// Outcome of one run_tx call: whether it committed, how many aborted
+/// attempts it burned (split by reason), and how many of those were
+/// retried. Aggregates with += (MedleyStore and the workload drivers sum
+/// these into their counter blocks).
+struct TxStats {
+  std::uint64_t commits = 0;  // 0 or 1 per run_tx call
+  std::uint64_t retries = 0;  // aborted attempts that were re-run
+  std::uint64_t conflict_aborts = 0;
+  std::uint64_t validation_aborts = 0;
+  std::uint64_t capacity_aborts = 0;
+  std::uint64_t user_aborts = 0;
+
+  std::uint64_t aborts() const {
+    return conflict_aborts + validation_aborts + capacity_aborts +
+           user_aborts;
+  }
+
+  TxStats& operator+=(const TxStats& o) {
+    commits += o.commits;
+    retries += o.retries;
+    conflict_aborts += o.conflict_aborts;
+    validation_aborts += o.validation_aborts;
+    capacity_aborts += o.capacity_aborts;
+    user_aborts += o.user_aborts;
+    return *this;
+  }
+};
+
 /// Convenience retry loop: run `body` as a transaction until it commits.
-/// `body` may call mgr.txAbort() to abandon one attempt (counts as retry
-/// only if `retry_on_user_abort`). Returns number of aborts encountered.
+/// `body` may call mgr.txAbort() to abandon one attempt (retried only if
+/// `retry_on_user_abort`); Conflict/Validation/Capacity aborts always
+/// retry. Returns the per-call TxStats — commits (0/1), retries, and the
+/// abort breakdown by reason.
 template <typename F>
-std::uint64_t run_tx(TxManager& mgr, F&& body,
-                     bool retry_on_user_abort = false) {
-  std::uint64_t aborts = 0;
+TxStats run_tx(TxManager& mgr, F&& body, bool retry_on_user_abort = false) {
+  TxStats st;
   for (;;) {
     try {
       mgr.txBegin();
       body();
       mgr.txEnd();
-      return aborts;
+      st.commits = 1;
+      return st;
     } catch (const TransactionAborted& e) {
-      aborts++;
-      if (e.reason() == AbortReason::User && !retry_on_user_abort) {
-        return aborts;
+      switch (e.reason()) {
+        case AbortReason::Conflict: st.conflict_aborts++; break;
+        case AbortReason::Validation: st.validation_aborts++; break;
+        case AbortReason::Capacity: st.capacity_aborts++; break;
+        case AbortReason::User: st.user_aborts++; break;
       }
+      if (e.reason() == AbortReason::User && !retry_on_user_abort) {
+        return st;
+      }
+      st.retries++;
     }
   }
 }

@@ -18,8 +18,10 @@
 // every level (helping searches unlink but never retire). This differs
 // from the single-level list, where the successful unlinker retires.
 
+#include <limits>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/medley.hpp"
@@ -115,6 +117,25 @@ class FraserSkiplist : public core::Composable {
       }
       // Lost the race to another remover: re-evaluate from scratch.
     }
+  }
+
+  /// Ordered range query: all live entries with lo <= key <= hi, ascending.
+  /// Transactional callers get an atomic snapshot: every level-0 link from
+  /// the predecessor of lo through the first key beyond hi joins the read
+  /// set, so any insert or remove inside the window between our traversal
+  /// and commit fails validation (an insert rewrites a covered next[0], a
+  /// remove marks one). Read-set capacity bounds the window (~4K entries;
+  /// overflow is a retryable Capacity abort).
+  std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
+    return scan_impl(
+        lo, [&hi](const K& k) { return !(hi < k); },
+        std::numeric_limits<std::size_t>::max());
+  }
+
+  /// Ordered scan: up to `limit` live entries with key >= lo, ascending.
+  /// Same transactional evidence as range() for the visited prefix.
+  std::vector<std::pair<K, V>> scan(const K& lo, std::size_t limit) {
+    return scan_impl(lo, [](const K&) { return true; }, limit);
   }
 
   /// Quiescent scans (tests/diagnostics).
@@ -225,6 +246,58 @@ class FraserSkiplist : public core::Composable {
       pos.succs[lvl] = curr;
     }
     return pos.succs[0] != nullptr && pos.succs[0]->key == k;
+  }
+
+  /// Shared body of range()/scan(): walk level 0 from the first key >= lo,
+  /// collecting live entries while `in_range(key)` holds and the limit is
+  /// unspent. Marked nodes encountered mid-walk are helped out exactly as
+  /// in find() — including our own speculative removals, whose unlink CAS
+  /// promotes into the transaction's write set — and a failed unlink
+  /// restarts the walk from scratch (discarding the partial collection).
+  /// Entries registered by an abandoned pass stay in the read set; they
+  /// can only cause a spurious validation abort, never an unsound commit.
+  template <typename InRange>
+  std::vector<std::pair<K, V>> scan_impl(const K& lo, InRange&& in_range,
+                                         std::size_t limit) {
+    OpStarter op(mgr);
+    std::vector<std::pair<K, V>> out;
+  retry:
+    out.clear();
+    Pos pos;
+    find(pos, lo);
+    CASObj<Node*>* pred_cell = &pos.preds[0]->next[0];
+    Node* curr = pos.succs[0];
+    // Entry evidence: nothing sits between pred(lo) and the first
+    // candidate (pins absence for an empty result, too).
+    addToReadSet(pred_cell, curr);
+    while (curr != nullptr && out.size() < limit && in_range(curr->key)) {
+      Node* raw = curr->next[0].nbtcLoad();
+      if (is_marked(raw)) {
+        // curr is logically deleted: help unlink it past pred_cell (no
+        // retirement — the remover retires after its own search).
+        if (!pred_cell->nbtcCAS(curr, unmark(raw), false, false)) {
+          goto retry;
+        }
+        // Inside a transaction, a *pre-speculation* help just rewrote a
+        // cell this transaction already registered (pred_cell is always
+        // in the read set by now), so commit-time validation can no
+        // longer pass. Abort here — run_tx retries against the cleaned
+        // list — rather than complete a doomed walk. Within speculation
+        // the CAS joined our write set instead and validation accepts
+        // the own-descriptor overwrite: keep walking.
+        if (auto* c = core::TxManager::active_ctx();
+            c != nullptr && !c->spec_interval) {
+          c->mgr->validateReads();
+        }
+        curr = unmark(raw);
+        continue;
+      }
+      out.emplace_back(curr->key, curr->val);
+      addToReadSet(&curr->next[0], raw);  // witnesses curr live + successor
+      pred_cell = &curr->next[0];
+      curr = raw;
+    }
+    return out;
   }
 
   /// Post-linearization cleanup of insert: link `node` at levels 1..h-1.

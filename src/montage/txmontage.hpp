@@ -15,6 +15,8 @@
 
 #include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "ds/fraser_skiplist.hpp"
 #include "ds/michael_hashtable.hpp"
@@ -70,6 +72,22 @@ class TxMontageMap {
     return old_val;
   }
 
+  /// Ordered queries — only instantiable when Index is an ordered map
+  /// (the Fraser skiplist). The index yields {key, PBlk*}; payloads are
+  /// immutable and EBR-protected for the whole operation (OpGuard), so
+  /// dereferencing blk->val after the index traversal is safe.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> range(
+      std::uint64_t lo, std::uint64_t hi) {
+    EpochSys::OpGuard g(es_);
+    return resolve(index_.range(lo, hi));
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> scan(
+      std::uint64_t lo, std::size_t limit) {
+    EpochSys::OpGuard g(es_);
+    return resolve(index_.scan(lo, limit));
+  }
+
   /// Rebuild the DRAM index from recovered payloads (call once, before
   /// any operations, with the survivors of EpochSys::recover()).
   void recover_from(const std::vector<EpochSys::Recovered>& payloads) {
@@ -84,6 +102,14 @@ class TxMontageMap {
   Index& index() { return index_; }
 
  private:
+  static std::vector<std::pair<std::uint64_t, std::uint64_t>> resolve(
+      const std::vector<std::pair<std::uint64_t, PBlk*>>& raw) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    out.reserve(raw.size());
+    for (const auto& [k, blk] : raw) out.emplace_back(k, blk->val);
+    return out;
+  }
+
   PBlk* alloc(std::uint64_t k, std::uint64_t v) {
     PBlk* payload = es_->alloc_payload(sid_, k, v);
     if (payload == nullptr) {

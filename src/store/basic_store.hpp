@@ -1,0 +1,211 @@
+#pragma once
+// BasicMedleyStore: the transactional KV-store façade (ROADMAP "serving
+// layer"). Three nonblocking structures share one TxManager and every
+// public operation is ONE Medley transaction composing them:
+//
+//   primary    — hash map, the authoritative key -> value mapping;
+//   secondary  — ordered map over the SAME entries (range / scan);
+//   change feed — MSQueue of committed mutations, in serialization order.
+//
+// Because the three writes of a mutation (primary update, secondary
+// update, feed append) linearize atomically at MCNS commit, the indexes
+// can never be observed out of sync by a committed transaction and the
+// feed never shows a mutation that did not happen — without a single lock
+// anywhere (paper Layer 2; PAPER.md "Layer 4 — serving").
+//
+// The façade is parameterized over the structure types so the same
+// choreography serves the DRAM store (MedleyStore: MichaelHashTable +
+// FraserSkiplist) and the persistent one (PersistentMedleyStore: the
+// txMontage maps), which only swap the index implementations.
+//
+// Interface contract:
+//   Primary:   get/put/remove (put returns the previous value);
+//   Secondary: insert/remove/range/scan (no put — replace is remove+insert
+//              inside the same transaction, which is equivalent and
+//              exercises the composition harder).
+//
+// Nesting: a store operation called while the thread is already inside a
+// transaction of the same manager flat-nests into it (its effects commit
+// or abort with the enclosing transaction). Top-level calls run their own
+// run_tx retry loop and record a TxStats into the StoreStats block; feed
+// push/poll accounting rides the transaction's cleanup list instead, so
+// it is exact in BOTH modes — counted once at commit (including an
+// enclosing transaction's commit), discarded with an aborted attempt.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/medley.hpp"
+#include "ds/ms_queue.hpp"
+#include "store/feed.hpp"
+#include "store/store_stats.hpp"
+
+namespace medley::store {
+
+struct StoreConfig {
+  std::size_t buckets = 1u << 16;  // primary hash size
+  bool feed_enabled = true;        // disable to trade the feed for less
+                                   // tail contention (bench ablation)
+};
+
+template <typename K, typename V, typename Primary, typename Secondary>
+class BasicMedleyStore : public core::Composable {
+ public:
+  using FeedItem = FeedEntry<K, V>;
+
+  /// The store borrows the indexes (owned by the concrete subclass, which
+  /// knows how to build them) and owns the feed queue. Composable gives
+  /// it addToCleanups for commit-exact feed accounting.
+  BasicMedleyStore(core::TxManager* mgr, Primary* primary,
+                   Secondary* secondary, const StoreConfig& cfg)
+      : Composable(mgr),
+        primary_(primary),
+        secondary_(secondary),
+        cfg_(cfg),
+        feed_(mgr) {}
+
+  // ---- point operations --------------------------------------------------
+
+  std::optional<V> get(const K& k) {
+    std::optional<V> res;
+    exec([&] { res = primary_->get(k); });
+    return res;
+  }
+
+  bool contains(const K& k) { return get(k).has_value(); }
+
+  /// Insert-or-replace; returns the previous value if any.
+  std::optional<V> put(const K& k, const V& v) {
+    std::optional<V> old;
+    exec([&] { old = put_in_tx(k, v); });
+    return old;
+  }
+
+  /// Remove; returns the removed value if the key was present.
+  std::optional<V> del(const K& k) {
+    std::optional<V> old;
+    exec([&] { old = del_in_tx(k); });
+    return old;
+  }
+
+  /// Atomic read-modify-write: `f(current) -> desired` where nullopt on
+  /// either side means absent. Returns the value f chose (nullopt = the
+  /// key is now absent). f may run several times (once per tx attempt)
+  /// and must be side-effect-free.
+  template <typename F>
+  std::optional<V> read_modify_write(const K& k, F&& f) {
+    std::optional<V> desired;
+    exec([&] {
+      std::optional<V> cur = primary_->get(k);
+      desired = f(static_cast<const std::optional<V>&>(cur));
+      if (desired) {
+        put_in_tx(k, *desired);
+      } else if (cur) {
+        del_in_tx(k);
+      }
+    });
+    return desired;
+  }
+
+  /// All-or-nothing batch upsert (one transaction, one feed entry per
+  /// key). Batch size is bounded by the descriptor write set (~1K words).
+  void multi_put(const std::vector<std::pair<K, V>>& kvs) {
+    exec([&] {
+      for (const auto& [k, v] : kvs) put_in_tx(k, v);
+    });
+  }
+
+  // ---- ordered operations (secondary index) ------------------------------
+
+  /// Atomic snapshot of all entries with lo <= key <= hi, ascending.
+  std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
+    std::vector<std::pair<K, V>> out;
+    exec([&] { out = secondary_->range(lo, hi); });
+    return out;
+  }
+
+  /// Atomic snapshot of up to `limit` entries with key >= lo, ascending.
+  std::vector<std::pair<K, V>> scan(const K& lo, std::size_t limit) {
+    std::vector<std::pair<K, V>> out;
+    exec([&] { out = secondary_->scan(lo, limit); });
+    return out;
+  }
+
+  // ---- change feed -------------------------------------------------------
+
+  /// Atomically drain up to `max_entries` committed mutations, oldest
+  /// first. Entries leave the feed exactly once (consumer groups are the
+  /// caller's problem). Empty result = feed drained.
+  std::vector<FeedItem> poll_feed(std::size_t max_entries) {
+    std::vector<FeedItem> out;
+    exec([&] {
+      out.clear();
+      while (out.size() < max_entries) {
+        auto e = feed_.dequeue();
+        if (!e) break;
+        out.push_back(*e);
+      }
+      if (const std::size_t n = out.size(); n > 0) {
+        addToCleanups([this, n] { stats_.note_feed_poll(n); });
+      }
+    });
+    return out;
+  }
+
+  // ---- introspection -----------------------------------------------------
+
+  StoreStats::Snapshot stats() const { return stats_.aggregate(); }
+  StoreStats::Snapshot stats_mine() const { return stats_.mine(); }
+  std::uint64_t feed_depth() const { return stats_.feed_depth(); }
+  const StoreConfig& config() const { return cfg_; }
+  core::TxManager* manager() { return mgr; }
+  Primary& primary() { return *primary_; }
+  Secondary& secondary() { return *secondary_; }
+
+ protected:
+  /// Run `body` as this store's transaction: flat-nested into an ambient
+  /// transaction, else a fresh run_tx retry loop whose TxStats is
+  /// recorded. (Feed counters are NOT handled here — they ride the
+  /// cleanup list so they fire exactly once, at whichever transaction
+  /// actually commits the effects.)
+  template <typename Body>
+  void exec(Body&& body) {
+    if (mgr->in_tx()) {
+      body();
+      return;
+    }
+    stats_.record(run_tx(*mgr, std::forward<Body>(body)));
+  }
+
+  std::optional<V> put_in_tx(const K& k, const V& v) {
+    std::optional<V> old = primary_->put(k, v);
+    if (old) secondary_->remove(k);
+    secondary_->insert(k, v);
+    feed_append(FeedItem{FeedOp::Put, k, v});
+    return old;
+  }
+
+  std::optional<V> del_in_tx(const K& k) {
+    std::optional<V> old = primary_->remove(k);
+    if (!old) return std::nullopt;  // read-only outcome, still validated
+    secondary_->remove(k);
+    feed_append(FeedItem{FeedOp::Del, k, V{}});
+    return old;
+  }
+
+  void feed_append(const FeedItem& item) {
+    if (!cfg_.feed_enabled) return;
+    feed_.enqueue(item);
+    addToCleanups([this] { stats_.note_feed_push(1); });
+  }
+
+  Primary* primary_;
+  Secondary* secondary_;
+  StoreConfig cfg_;
+  ds::MSQueue<FeedItem> feed_;
+  StoreStats stats_;
+};
+
+}  // namespace medley::store

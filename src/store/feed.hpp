@@ -1,0 +1,41 @@
+#pragma once
+// Change-feed records for MedleyStore (the seed of replication / WAL
+// shipping). Every committed mutating transaction of the store enqueues
+// exactly one FeedEntry onto an MSQueue *inside the same transaction*, so
+// the queue's FIFO order IS the store's serialization order: draining the
+// feed and replaying it over an empty map reproduces the primary index
+// exactly (tests/test_store.cpp checks this). A transaction that aborts
+// enqueues nothing — the feed never shows phantom mutations.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace medley::store {
+
+enum class FeedOp : std::uint8_t {
+  Put,  // key now maps to val (insert or overwrite)
+  Del,  // key removed (val is default-constructed filler)
+};
+
+template <typename K, typename V>
+struct FeedEntry {
+  FeedOp op = FeedOp::Put;
+  K key{};
+  V val{};
+};
+
+/// Replay a drained feed over a map (tests / recovery of a follower).
+template <typename K, typename V>
+void replay_feed(const std::vector<FeedEntry<K, V>>& entries,
+                 std::map<K, V>& into) {
+  for (const auto& e : entries) {
+    if (e.op == FeedOp::Put) {
+      into[e.key] = e.val;
+    } else {
+      into.erase(e.key);
+    }
+  }
+}
+
+}  // namespace medley::store

@@ -1,0 +1,19 @@
+#pragma once
+// Umbrella header for the MedleyStore serving subsystem.
+//
+//   #include "store/store.hpp"
+//
+//   medley::TxManager mgr;
+//   medley::store::MedleyStore<uint64_t, uint64_t> kv(&mgr);
+//   kv.put(1, 10);
+//   auto window = kv.range(0, 100);       // atomic ordered snapshot
+//   auto feed = kv.poll_feed(64);         // committed mutations, in order
+//
+// See basic_store.hpp for the design notes, medley_store.hpp for the
+// DRAM store, persistent_medley_store.hpp for the crash-surviving one.
+
+#include "store/basic_store.hpp"
+#include "store/feed.hpp"
+#include "store/medley_store.hpp"
+#include "store/persistent_medley_store.hpp"
+#include "store/store_stats.hpp"

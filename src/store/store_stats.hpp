@@ -1,0 +1,109 @@
+#pragma once
+// StoreStats: the store's per-thread counter block (the STO exemplar's
+// per-transaction perf counters, adapted to Medley's dense thread ids).
+// Every top-level store operation folds its run_tx TxStats into the
+// calling thread's padded slot; feed pushes/polls are counted only after
+// the enclosing transaction committed, so feed_depth() is exact between
+// quiescent points (and never counts an aborted attempt).
+//
+// Counters are relaxed atomics with a single writer (the slot's owner
+// thread); aggregate() and feed_depth() may run concurrently with writers
+// and see a slightly stale but tear-free view. mine() reads the calling
+// thread's own slot — workload drivers use before/after deltas of it for
+// exact per-thread abort accounting.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/medley.hpp"
+#include "util/align.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::store {
+
+class StoreStats {
+ public:
+  /// TxStats (commits/retries/aborts-by-reason, with aborts()) plus the
+  /// store's feed counters.
+  struct Snapshot : TxStats {
+    std::uint64_t feed_pushed = 0;
+    std::uint64_t feed_polled = 0;
+  };
+
+  /// Fold one committed-or-abandoned run_tx outcome into my slot.
+  void record(const TxStats& st) {
+    Slot& s = my_slot();
+    add(s.commits, st.commits);
+    add(s.retries, st.retries);
+    add(s.conflict_aborts, st.conflict_aborts);
+    add(s.validation_aborts, st.validation_aborts);
+    add(s.capacity_aborts, st.capacity_aborts);
+    add(s.user_aborts, st.user_aborts);
+  }
+
+  void note_feed_push(std::uint64_t n) { add(my_slot().feed_pushed, n); }
+  void note_feed_poll(std::uint64_t n) { add(my_slot().feed_polled, n); }
+
+  /// Sum over all thread slots.
+  Snapshot aggregate() const {
+    Snapshot out;
+    const int n = util::ThreadRegistry::max_tid();
+    for (int i = 0; i < n && i < util::ThreadRegistry::kMaxThreads; i++) {
+      fold(out, *slots_[i]);
+    }
+    return out;
+  }
+
+  /// The calling thread's slot only (exact: single writer).
+  Snapshot mine() const {
+    Snapshot out;
+    fold(out, *slots_[util::ThreadRegistry::tid()]);
+    return out;
+  }
+
+  /// Committed-but-unpolled feed entries (exact once writers quiesce;
+  /// saturating, since a mid-flight poll can momentarily observe its own
+  /// count before a concurrent pusher's).
+  std::uint64_t feed_depth() const {
+    Snapshot s = aggregate();
+    return s.feed_pushed >= s.feed_polled ? s.feed_pushed - s.feed_polled
+                                          : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> conflict_aborts{0};
+    std::atomic<std::uint64_t> validation_aborts{0};
+    std::atomic<std::uint64_t> capacity_aborts{0};
+    std::atomic<std::uint64_t> user_aborts{0};
+    std::atomic<std::uint64_t> feed_pushed{0};
+    std::atomic<std::uint64_t> feed_polled{0};
+  };
+
+  static void add(std::atomic<std::uint64_t>& c, std::uint64_t n) {
+    if (n != 0) c.store(c.load(std::memory_order_relaxed) + n,
+                        std::memory_order_relaxed);
+  }
+
+  static void fold(Snapshot& out, const Slot& s) {
+    TxStats t;
+    t.commits = s.commits.load(std::memory_order_relaxed);
+    t.retries = s.retries.load(std::memory_order_relaxed);
+    t.conflict_aborts = s.conflict_aborts.load(std::memory_order_relaxed);
+    t.validation_aborts =
+        s.validation_aborts.load(std::memory_order_relaxed);
+    t.capacity_aborts = s.capacity_aborts.load(std::memory_order_relaxed);
+    t.user_aborts = s.user_aborts.load(std::memory_order_relaxed);
+    out += t;
+    out.feed_pushed += s.feed_pushed.load(std::memory_order_relaxed);
+    out.feed_polled += s.feed_polled.load(std::memory_order_relaxed);
+  }
+
+  Slot& my_slot() { return *slots_[util::ThreadRegistry::tid()]; }
+
+  util::Padded<Slot> slots_[util::ThreadRegistry::kMaxThreads];
+};
+
+}  // namespace medley::store

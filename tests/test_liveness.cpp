@@ -86,7 +86,8 @@ TEST(Liveness, SoloThreadRetryCommitsInOneRound) {
       auto v = m.get(1);
       m.put(1, *v + 1);
     });
-    EXPECT_EQ(aborts, 0u) << "solo transaction aborted at iteration " << i;
+    EXPECT_EQ(aborts.aborts(), 0u)
+        << "solo transaction aborted at iteration " << i;
   }
   EXPECT_EQ(*m.get(1), 500u);
 }
@@ -128,7 +129,8 @@ TEST(Liveness, ReaderOnlyTransactionsNeverStopWriters) {
 
   std::vector<std::thread> readers;
   for (int r = 0; r < 6; r++) {
-    readers.emplace_back([&] {
+    // NB: r by value — a [&] capture races with the loop increment (TSAN).
+    readers.emplace_back([&, r] {
       medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(r) + 77);
       while (!stop.load()) {
         try {

@@ -308,7 +308,7 @@ TEST(Mcns, ObstructionFreedomSoloThreadAlwaysCommits) {
     ASSERT_TRUE(a.nbtcCAS(a.nbtcLoad(), 1, true, true));
     ASSERT_TRUE(b.nbtcCAS(b.nbtcLoad(), 1, true, true));
   });
-  EXPECT_EQ(aborts, 0u);
+  EXPECT_EQ(aborts.aborts(), 0u);
   EXPECT_EQ(a.load(), 1u);
   EXPECT_EQ(b.load(), 1u);
 }

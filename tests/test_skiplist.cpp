@@ -126,6 +126,45 @@ TEST(Skiplist, ConcurrentOracleAgreement) {
   }
 }
 
+TEST(Skiplist, RangeAndScanSequentialSemantics) {
+  TxManager mgr;
+  SL s(&mgr);
+  for (std::uint64_t k = 10; k <= 100; k += 10) s.insert(k, k * 2);
+  // range is inclusive on both bounds, ascending.
+  auto r = s.range(20, 50);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.front(), (std::pair<std::uint64_t, std::uint64_t>{20, 40}));
+  EXPECT_EQ(r.back(), (std::pair<std::uint64_t, std::uint64_t>{50, 100}));
+  // Empty window and beyond-the-end window.
+  EXPECT_TRUE(s.range(41, 49).empty());
+  EXPECT_TRUE(s.range(101, 200).empty());
+  // scan starts at the first key >= lo and honours the limit.
+  auto sc = s.scan(35, 3);
+  ASSERT_EQ(sc.size(), 3u);
+  EXPECT_EQ(sc[0].first, 40u);
+  EXPECT_EQ(sc[2].first, 60u);
+  EXPECT_EQ(s.scan(95, 10).size(), 1u);  // only 100 remains
+}
+
+TEST(Skiplist, RangeInsideTxSeesOwnSpeculativeWrites) {
+  TxManager mgr;
+  SL s(&mgr);
+  for (std::uint64_t k = 1; k <= 8; k++) s.insert(k, k);
+  medley::run_tx(mgr, [&] {
+    s.remove(4);
+    s.insert(100, 100);
+    auto r = s.range(1, 200);
+    ASSERT_EQ(r.size(), 8u);  // 1,2,3,5,6,7,8,100
+    for (const auto& [k, v] : r) {
+      EXPECT_NE(k, 4u);
+      EXPECT_EQ(k, v);
+    }
+    EXPECT_EQ(r.back().first, 100u);
+  });
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.contains(100));
+}
+
 TEST(Skiplist, MgrStatsSeeTransactionOutcomes) {
   TxManager mgr;
   SL s(&mgr);
@@ -170,6 +209,115 @@ TEST(SkiplistOracle, DeterministicInterleavingMatchesStdMap) {
   }
   d.run(d.shuffled(99));
   EXPECT_TRUE(h::check_sequential_map(rec.history()));
+  EXPECT_TRUE(s.invariants_hold_slow());
+}
+
+TEST(SkiplistOracle, RangeAgreesWithMapOracleUnderPinnedInterleavings) {
+  // Serialized-but-interleaved mixed workload with range queries: steps
+  // run one at a time under the ScheduleDriver (real threads, exact
+  // interleaving), so a std::map oracle can be advanced in lock-step and
+  // every range result compared exactly.
+  TxManager mgr;
+  SL s(&mgr);
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  h::ScheduleDriver d;
+  for (int t = 0; t < 3; t++) {
+    std::vector<h::ScheduleDriver::Step> steps;
+    medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 77);
+    for (int i = 0; i < 80; i++) {
+      const auto k = rng.next_bounded(24);
+      const auto v = rng.next();
+      switch (rng.next_bounded(4)) {
+        case 0:
+          steps.push_back([&s, &oracle, k, v] {
+            const bool ins = s.insert(k, v);
+            ASSERT_EQ(ins, oracle.emplace(k, v).second);
+          });
+          break;
+        case 1:
+          steps.push_back([&s, &oracle, k] {
+            auto got = s.remove(k);
+            auto it = oracle.find(k);
+            ASSERT_EQ(got.has_value(), it != oracle.end());
+            if (got) {
+              ASSERT_EQ(*got, it->second);
+              oracle.erase(it);
+            }
+          });
+          break;
+        default:
+          steps.push_back([&s, &oracle, k] {
+            const auto hi = k + 8;
+            auto got = s.range(k, hi);
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> want(
+                oracle.lower_bound(k), oracle.upper_bound(hi));
+            ASSERT_EQ(got, want);
+          });
+          break;
+      }
+    }
+    d.add_thread(std::move(steps));
+  }
+  d.run(d.shuffled(1234));
+  EXPECT_TRUE(s.invariants_hold_slow());
+}
+
+TEST(SkiplistOracle, CommittedRangeIsAtomicSnapshotUnderConcurrency) {
+  // Mutators toggle key *pairs* (2k, 2k+1) atomically inside transactions;
+  // committed transactional range scans must never observe half a pair,
+  // and must always see keys in strictly ascending order.
+  TxManager mgr;
+  SL s(&mgr);
+  constexpr std::uint64_t kPairs = 12;
+  for (std::uint64_t p = 0; p < kPairs; p += 2) {  // half start present
+    s.insert(2 * p, p);
+    s.insert(2 * p + 1, p);
+  }
+  std::atomic<bool> torn{false};
+  std::atomic<std::uint64_t> snapshots{0};
+
+  h::run_seeded(8, 2027, [&](int t, medley::util::Xoshiro256& rng) {
+    if (t < 4) {  // mutators
+      for (int i = 0; i < 500; i++) {
+        const auto p = rng.next_bounded(kPairs);
+        try {
+          medley::run_tx(mgr, [&] {
+            if (s.remove(2 * p).has_value()) {
+              s.remove(2 * p + 1);
+            } else {
+              s.insert(2 * p, p + 1000 + static_cast<std::uint64_t>(i));
+              s.insert(2 * p + 1, p + 1000 + static_cast<std::uint64_t>(i));
+            }
+          });
+        } catch (const TransactionAborted&) {
+        }
+      }
+    } else {  // scanners
+      for (int i = 0; i < 500; i++) {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> snap;
+        try {
+          medley::run_tx(mgr, [&] { snap = s.range(0, 2 * kPairs); });
+        } catch (const TransactionAborted&) {
+          continue;  // uncommitted attempts may legally be torn
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t j = 1; j < snap.size(); j++) {
+          if (!(snap[j - 1].first < snap[j].first)) torn.store(true);
+        }
+        std::map<std::uint64_t, std::uint64_t> m(snap.begin(), snap.end());
+        for (std::uint64_t p = 0; p < kPairs; p++) {
+          auto a = m.find(2 * p), b = m.find(2 * p + 1);
+          if ((a == m.end()) != (b == m.end())) torn.store(true);
+          if (a != m.end() && b != m.end() && a->second != b->second) {
+            torn.store(true);
+          }
+        }
+      }
+    }
+  });
+
+  EXPECT_FALSE(torn.load()) << "a committed range saw a torn pair";
+  EXPECT_GT(snapshots.load(), 0u);
   EXPECT_TRUE(s.invariants_hold_slow());
 }
 

@@ -248,7 +248,9 @@ TEST(TxManager, RunTxRetriesUntilCommit) {
   stop = true;
   noise.join();
   EXPECT_EQ(a.load(), 1u);
-  EXPECT_EQ(static_cast<std::uint64_t>(attempts.load()), aborts + 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(attempts.load()), aborts.aborts() + 1);
+  EXPECT_EQ(aborts.commits, 1u);
+  EXPECT_EQ(aborts.retries, aborts.aborts());
 }
 
 TEST(TxManager, BeginHookRunsInsideTx) {
@@ -397,7 +399,9 @@ TEST(TxAbortPaths, RunTxUserAbortNotRetriedByDefault) {
     mgr.txAbort();
   });
   EXPECT_EQ(attempts, 1);  // user abort: give up, don't retry
-  EXPECT_EQ(aborts, 1u);
+  EXPECT_EQ(aborts.user_aborts, 1u);
+  EXPECT_EQ(aborts.retries, 0u);
+  EXPECT_EQ(aborts.commits, 0u);
   EXPECT_EQ(mgr.stats().user_aborts, 1u);
 }
 
@@ -413,7 +417,9 @@ TEST(TxAbortPaths, RunTxRetriesUserAbortWhenAsked) {
       },
       /*retry_on_user_abort=*/true);
   EXPECT_EQ(attempts, 4);
-  EXPECT_EQ(aborts, 3u);
+  EXPECT_EQ(aborts.user_aborts, 3u);
+  EXPECT_EQ(aborts.retries, 3u);
+  EXPECT_EQ(aborts.commits, 1u);
   auto st = mgr.stats();
   EXPECT_EQ(st.user_aborts, 3u);
   EXPECT_EQ(st.commits, 1u);
@@ -451,7 +457,8 @@ TEST(TxAbortPaths, RunTxCountsConflictRetries) {
           auto v = a.nbtcLoad();
           EXPECT_TRUE(a.nbtcCAS(v, v + 1, true, true));
         });
-        EXPECT_EQ(aborts, 0u);
+        EXPECT_EQ(aborts.aborts(), 0u);
+        EXPECT_EQ(aborts.commits, 1u);
       },
   });
   d.add_thread({
@@ -499,7 +506,8 @@ TEST(TxAbortPaths, CapacityAbortIsRetriedByRunTx) {
     if (++attempts < 3) mgr.txAbortCapacity();
   });
   EXPECT_EQ(attempts, 3);
-  EXPECT_EQ(aborts, 2u);
+  EXPECT_EQ(aborts.capacity_aborts, 2u);
+  EXPECT_EQ(aborts.retries, 2u);
   auto st = mgr.stats();
   EXPECT_EQ(st.capacity_aborts, 2u);
   EXPECT_EQ(st.commits, 1u);
