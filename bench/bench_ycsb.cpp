@@ -19,7 +19,14 @@
 //   MedleyStore-nofeed  — identical but feed disabled: the ablation
 //                         isolating what the ordered change feed costs;
 //   PersistentMedleyStore — txMontage indexes (epoch advancer at 10 ms):
-//                         the durability premium on the same workloads.
+//                         the durability premium on the same workloads;
+//   ShardedMedleyStore-{1,4,8} — hash-partitioned shards, one TxManager +
+//                         feed per shard under a shared TxDomain: the
+//                         contention ablation for the sharding axis
+//                         (shards:1 prices the sharded dispatch itself).
+//                         Rows carry per-shard + aggregate abort/retry
+//                         counters (aborts_shard<i> etc., absolute since
+//                         setup) next to the per-thread exact rates.
 //
 // Output is google-benchmark JSON in the same shape as the figure benches:
 // items_per_second = committed store operations/s; aborts_per_tx and
@@ -127,31 +134,45 @@ struct KeyDist {
 };
 
 /// One YCSB operation against any store exposing the MedleyStore API.
-/// Mutators drain up to 2 feed entries inline when the feed is on.
+/// Mutators drain up to 2 feed entries inline after each mutation (a
+/// replication tap that keeps up). A sharded store taps the SHARD it just
+/// wrote (poll_feed_local): per-shard change streams are the sharded
+/// replication pattern — the totally ordered merged poll_feed() exists
+/// for consumers that need it, but putting it on every mutation would
+/// reintroduce exactly the global serialization point sharding removes.
 template <typename StoreT>
 void ycsb_op(StoreT& store, bool feed_on, medley::util::Xoshiro256& rng,
              KeyDist& keys, const Mix& mix) {
   const auto x = static_cast<int>(rng.next_bounded(100));
+  std::uint64_t mutated = 0;
   if (x < mix.read_w) {
     benchmark::DoNotOptimize(store.get(keys.pick(rng, mix)));
     return;
   }
   if (x < mix.read_w + mix.put_w) {
-    store.put(keys.pick(rng, mix), rng.next());
+    mutated = keys.pick(rng, mix);
+    store.put(mutated, rng.next());
   } else if (x < mix.read_w + mix.put_w + mix.ins_w) {
-    const std::uint64_t k = keys.fresh();
-    store.put(k, k);
+    mutated = keys.fresh();
+    store.put(mutated, mutated);
   } else if (x < mix.read_w + mix.put_w + mix.ins_w + mix.scan_w) {
     benchmark::DoNotOptimize(
         store.scan(keys.pick(rng, mix), 1 + rng.next_bounded(kMaxScanLen)));
     return;
   } else {
+    mutated = keys.pick(rng, mix);
     store.read_modify_write(
-        keys.pick(rng, mix), [](const std::optional<std::uint64_t>& c) {
+        mutated, [](const std::optional<std::uint64_t>& c) {
           return std::optional<std::uint64_t>(c.value_or(0) + 1);
         });
   }
-  if (feed_on) store.poll_feed(2);
+  if (feed_on) {
+    if constexpr (requires { store.poll_feed_local(mutated, 2u); }) {
+      store.poll_feed_local(mutated, 2);
+    } else {
+      store.poll_feed(2);
+    }
+  }
 }
 
 template <bool kFeed>
@@ -182,6 +203,57 @@ struct MedleyStoreAdapter {
   }
 
   ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
+};
+
+template <int kShards>
+struct ShardedStoreAdapter {
+  static const char* name() {
+    if constexpr (kShards == 1) return "ShardedMedleyStore-1";
+    if constexpr (kShards == 4) return "ShardedMedleyStore-4";
+    return "ShardedMedleyStore-8";
+  }
+  static constexpr std::uint64_t kInsertWrap = 0;  // DRAM: unbounded
+
+  using Sharded = ms::ShardedMedleyStore<std::uint64_t, std::uint64_t>;
+  std::unique_ptr<Sharded> store;
+  std::atomic<std::uint64_t> next_insert{0}, max_key{0};
+
+  void setup(const YcsbScale& sc) {
+    store = std::make_unique<Sharded>(
+        kShards, ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/true});
+    for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
+    while (!store->poll_feed(1024).empty()) {  // preload is not traffic
+    }
+    next_insert.store(sc.records + 1);
+    max_key.store(sc.records);
+  }
+
+  void op(medley::util::Xoshiro256& rng, KeyDist& keys, const Mix& mix) {
+    ycsb_op(*store, /*feed_on=*/true, rng, keys, mix);
+  }
+
+  ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
+
+  /// Per-shard + aggregate counters for the JSON row (absolute totals
+  /// since setup; the per-thread exact rates stay in aborts_per_tx).
+  void emit_counters(benchmark::State& state) const {
+    double agg_aborts = 0, agg_retries = 0;
+    for (int i = 0; i < kShards; i++) {
+      const auto st = store->stats_shard(static_cast<std::size_t>(i));
+      state.counters["aborts_shard" + std::to_string(i)] =
+          static_cast<double>(st.aborts());
+      state.counters["retries_shard" + std::to_string(i)] =
+          static_cast<double>(st.retries);
+      agg_aborts += static_cast<double>(st.aborts());
+      agg_retries += static_cast<double>(st.retries);
+    }
+    const auto cross = store->stats_cross();
+    state.counters["aborts_cross"] = static_cast<double>(cross.aborts());
+    state.counters["aborts_agg"] =
+        agg_aborts + static_cast<double>(cross.aborts());
+    state.counters["retries_agg"] =
+        agg_retries + static_cast<double>(cross.retries);
+  }
 };
 
 struct PersistentStoreAdapter {
@@ -250,6 +322,9 @@ void run_ycsb_benchmark(benchmark::State& state) {
   }
   const auto after = sys.stats_mine();
 
+  if constexpr (requires { sys.emit_counters(state); }) {
+    if (state.thread_index() == 0) sys.emit_counters(state);
+  }
   state.SetItemsProcessed(state.iterations());
   state.counters["aborts_per_tx"] = benchmark::Counter(
       static_cast<double>(after.aborts() - before.aborts()),
@@ -287,6 +362,9 @@ void register_ycsb() {
 int main(int argc, char** argv) {
   register_ycsb<MedleyStoreAdapter<true>>();
   register_ycsb<MedleyStoreAdapter<false>>();
+  register_ycsb<ShardedStoreAdapter<1>>();
+  register_ycsb<ShardedStoreAdapter<4>>();
+  register_ycsb<ShardedStoreAdapter<8>>();
   register_ycsb<PersistentStoreAdapter>();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

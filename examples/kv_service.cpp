@@ -1,7 +1,12 @@
-// MedleyStore in 15 lines: a typed KV service whose every operation is
+// MedleyStore in a few lines: a typed KV service whose every operation is
 // one Medley transaction across a hash primary, an ordered secondary
 // index, and a change feed — point ops, atomic batches, consistent range
 // scans, and a replication tap, with zero locks.
+//
+// Scaled out with ShardedMedleyStore: four shards, each with its own
+// TxManager + indexes + feed under one shared TxDomain. Single-key ops
+// run entirely inside their shard; batches and scans that span shards are
+// still ONE atomic transaction (one descriptor, one commit CAS).
 //
 //   $ ./examples/kv_service
 
@@ -10,24 +15,35 @@
 #include "store/store.hpp"
 
 int main() {
-  medley::TxManager mgr;
-  medley::store::MedleyStore<std::uint64_t, std::uint64_t> kv(&mgr);
+  medley::store::ShardedMedleyStore<std::uint64_t, std::uint64_t> kv(4);
 
-  kv.put(7, 700);
-  kv.multi_put({{1, 100}, {2, 200}, {3, 300}});       // all-or-nothing
+  kv.put(7, 700);                                     // single-shard fast path
+  kv.multi_put({{1, 100}, {2, 200}, {3, 300}});       // all-or-nothing, spans shards
   kv.read_modify_write(7, [](const std::optional<std::uint64_t>& v) {
     return std::optional<std::uint64_t>(v.value_or(0) + 1);
   });
+  kv.read_modify_write_many(                          // atomic cross-shard RMW
+      {1, 3}, [](std::uint64_t, const std::optional<std::uint64_t>& v) {
+        return std::optional<std::uint64_t>(v.value_or(0) + 9);
+      });
   kv.del(2);
 
-  for (auto [k, v] : kv.range(0, 10)) {               // atomic ordered snapshot
-    std::printf("range: %lu -> %lu\n", k, v);
+  // Arbitrary composition across shards: one transaction, one commit.
+  kv.transact([&] {
+    auto a = kv.get(1).value_or(0);
+    kv.put(5, a);
+  });
+
+  for (auto [k, v] : kv.range(0, 10)) {               // merged atomic snapshot
+    std::printf("range: %lu -> %lu (shard %zu)\n", k, v, kv.shard_of(k));
   }
-  for (const auto& e : kv.poll_feed(16)) {            // committed mutations, in order
-    std::printf("feed:  %s %lu\n",
-                e.op == medley::store::FeedOp::Put ? "put" : "del", e.key);
+  for (const auto& e : kv.poll_feed(16)) {            // merged committed mutations
+    std::printf("feed:  %s %lu seq=%lu\n",
+                e.op == medley::store::FeedOp::Put ? "put" : "del", e.key,
+                e.seq);
   }
   auto st = kv.stats();
-  std::printf("txs: %lu committed, %lu aborted\n", st.commits, st.aborts());
+  std::printf("txs: %lu committed, %lu aborted across %zu shards\n",
+              st.commits, st.aborts(), kv.shard_count());
   return 0;
 }

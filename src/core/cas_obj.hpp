@@ -9,6 +9,11 @@
 // transaction's write set. The plain load/store/CAS methods are also
 // descriptor-aware (they resolve, never observe, a speculative state) and
 // are what cleanup code and non-transactional operations use.
+//
+// A CASObj is manager-agnostic: instrumentation keys off the calling
+// thread's active TxDomain context (one descriptor per thread per domain),
+// which is what lets structures registered with different TxManagers of a
+// shared domain speculate inside one transaction.
 
 #include <bit>
 #include <cassert>
@@ -17,6 +22,7 @@
 
 #include "core/cas_cell.hpp"
 #include "core/descriptor.hpp"
+#include "core/tx_domain.hpp"
 #include "core/tx_manager.hpp"
 
 namespace medley::core {
@@ -41,7 +47,7 @@ class CASObj {
   T nbtcLoad() {
     TxManager::ThreadCtx* c = TxManager::active_ctx();
     if (c == nullptr) return load();
-    c->mgr->self_abort_check(c);  // doomed? stop wasting work now
+    TxDomain::self_abort_check(c);  // doomed? stop wasting work now
     Desc* mine = c->desc;
     for (;;) {
       util::U128 u = cell_.vc.load();
@@ -62,7 +68,7 @@ class CASObj {
           continue;  // defensive in release builds
         }
         other->try_finalize(&cell_, u);
-        c->mgr->self_abort_check(c);
+        TxDomain::self_abort_check(c);
         continue;
       }
       c->note_load(&cell_, u.lo, u.hi, u.lo);
@@ -76,7 +82,7 @@ class CASObj {
   bool nbtcCAS(T expected, T desired, bool lin_pt, bool pub_pt) {
     TxManager::ThreadCtx* c = TxManager::active_ctx();
     if (c == nullptr) return CAS(expected, desired);
-    c->mgr->self_abort_check(c);  // doomed? stop wasting work now
+    TxDomain::self_abort_check(c);  // doomed? stop wasting work now
     Desc* mine = c->desc;
     const std::uint64_t exp = encode(expected);
     const std::uint64_t des = encode(desired);
@@ -86,7 +92,7 @@ class CASObj {
         Desc* other = CASCell::desc_of(u);
         if (other != mine) {
           other->try_finalize(&cell_, u);
-          c->mgr->self_abort_check(c);
+          TxDomain::self_abort_check(c);
           continue;
         }
         // Our own speculative write: update it in place.
@@ -105,7 +111,7 @@ class CASObj {
         // Critical CAS: install the descriptor (counter goes odd).
         WriteEntry* e = mine->record_write(&cell_, u.lo, u.hi, des,
                                            c->begin_status);
-        if (e == nullptr) c->mgr->abort_internal(c, AbortReason::Capacity);
+        if (e == nullptr) c->domain->abort(c, AbortReason::Capacity);
         util::U128 expected128 = u;
         if (!cell_.vc.compare_exchange(
                 expected128, util::U128{mine->self_encoded(), u.hi + 1})) {

@@ -77,6 +77,40 @@ class Composable {
     }
   }
 
+  /// addToReadSet for iteration-heavy operations (skiplist range/scan):
+  /// skips cells this transaction already tracks in its dedup set, so a
+  /// restarted walk (failed help-unlink under contention) does not
+  /// re-register its whole footprint — read-set growth is unique links,
+  /// not links x passes. Callers engage the mechanism with
+  /// seedReadSetDedup() when a walk restarts; an uncontended first pass
+  /// uses plain addToReadSet and pays nothing.
+  ///
+  /// Dropping a duplicate is exactly outcome-preserving, not merely
+  /// sound: the earlier entry for the cell stays in the read set for the
+  /// rest of the transaction, and cell counters are strictly monotonic, so
+  /// at commit either both entries validate (the cell never moved — or
+  /// only we moved it, which the own-overwrite clause accepts for both
+  /// recorded pairs) or the earlier one already fails and dooms the
+  /// transaction with or without the duplicate.
+  template <typename T>
+  void addToReadSetDedup(CASObj<T>* obj, T val) {
+    TxManager::ThreadCtx* c = TxManager::active_ctx();
+    if (c == nullptr) return;
+    if (!c->note_dedup_read(obj->cell())) return;  // already registered
+    addToReadSet(obj, val);
+  }
+
+  /// Seed the transaction's dedup set from every cell its read set
+  /// already tracks. O(read set), paid only when a walk restarts; after
+  /// this, addToReadSetDedup skips all of them.
+  void seedReadSetDedup() {
+    TxManager::ThreadCtx* c = TxManager::active_ctx();
+    if (c == nullptr) return;
+    c->desc->for_each_read(c->begin_status, [c](CASCell* cell) {
+      c->dedup_reads.insert(cell);
+    });
+  }
+
   /// Abort the calling thread's transaction immediately (used by boosted
   /// operations for deadlock avoidance). Never returns.
   [[noreturn]] void abortTx(AbortReason r) {

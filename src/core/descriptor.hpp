@@ -187,6 +187,20 @@ class Desc {
     uninstall(d);
   }
 
+  /// Visit the cell of every read entry published under incarnation d
+  /// (owner only; used to seed the scan-dedup set when a walk restarts —
+  /// everything already tracked need not be registered again).
+  template <typename F>
+  void for_each_read(std::uint64_t d, F&& f) const {
+    const std::uint64_t ser = status_word::incarnation(d);
+    const int n = reads_.count();
+    for (int i = 0; i < n; i++) {
+      ReadSnapshot r;
+      if (!snapshot(reads_.at(i), ser, r)) continue;  // stale/foreign entry
+      f(r.addr);
+    }
+  }
+
   int read_count() const { return reads_.count(); }
   int write_count() const { return writes_.count(); }
 

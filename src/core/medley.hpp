@@ -18,6 +18,7 @@
 #include "core/cas_obj.hpp"
 #include "core/composable.hpp"
 #include "core/descriptor.hpp"
+#include "core/tx_domain.hpp"
 #include "core/tx_manager.hpp"
 
 namespace medley {
@@ -28,6 +29,7 @@ using core::Composable;
 using core::Desc;
 using core::OpStarter;
 using core::TransactionAborted;
+using core::TxDomain;
 using core::TxManager;
 
 /// Outcome of one run_tx call: whether it committed, how many aborted

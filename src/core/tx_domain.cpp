@@ -1,65 +1,81 @@
-#include "core/tx_manager.hpp"
+#include "core/tx_domain.hpp"
 
 #include <stdexcept>
 
+#include "core/tx_manager.hpp"
+
 namespace medley::core {
 
-thread_local TxManager::ThreadCtx* TxManager::tl_active_ = nullptr;
+thread_local ThreadCtx* TxDomain::tl_active_ = nullptr;
 
-TxManager::TxManager() = default;
-TxManager::~TxManager() = default;
+TxDomain::TxDomain() = default;
+TxDomain::~TxDomain() = default;
 
-TxManager::ThreadCtx* TxManager::my_ctx() {
+ThreadCtx* TxDomain::my_ctx() {
   const int tid = util::ThreadRegistry::tid();
   if (!ctxs_[tid]) {
     ctxs_[tid] = std::make_unique<ThreadCtx>();
     descs_[tid] = std::make_unique<Desc>(static_cast<std::uint64_t>(tid));
-    ctxs_[tid]->mgr = this;
+    ctxs_[tid]->domain = this;
     ctxs_[tid]->desc = descs_[tid].get();
-    int hw = ctx_high_water_.load(std::memory_order_relaxed);
-    while (hw < tid + 1 && !ctx_high_water_.compare_exchange_weak(
-                               hw, tid + 1, std::memory_order_acq_rel)) {
-    }
   }
   return ctxs_[tid].get();
 }
 
-Desc* TxManager::my_desc() { return my_ctx()->desc; }
+Desc* TxDomain::my_desc() { return my_ctx()->desc; }
 
-bool TxManager::in_tx() const {
+bool TxDomain::in_tx() const {
   ThreadCtx* c = tl_active_;
-  return c != nullptr && c->mgr == this;
+  return c != nullptr && c->domain == this;
 }
 
-void TxManager::txBegin() {
+void TxDomain::begin(TxManager* root) {
   if (tl_active_ != nullptr) {
     throw std::logic_error("Medley transactions do not nest");
   }
   ThreadCtx* c = my_ctx();
+  c->mgr = root;
   c->begin_status = c->desc->begin();
   c->in_tx = true;
   c->spec_interval = false;
+  c->joined.clear();
+  c->joined.push_back(root);
   c->cleanups.clear();
   c->compensations.clear();
   c->allocs.clear();
   c->retires.clear();
+  c->dedup_reads.reset();
   c->ring_pos = 0;
   for (auto& r : c->ring) r = ThreadCtx::RecentLoad{};
   c->guard.emplace();  // pin reclamation for the whole transaction
   tl_active_ = c;
-  if (begin_hook_) begin_hook_();
+  root->fire_begin_hook();
 }
 
-void TxManager::self_abort_check(ThreadCtx* c) {
+void TxDomain::join(ThreadCtx* c, TxManager* mgr) {
+  if (c->mgr == mgr) return;  // root: the overwhelmingly common case
+  for (TxManager* m : c->joined) {
+    if (m == mgr) return;
+  }
+  if (mgr->domain() != this) {
+    throw std::logic_error(
+        "Medley: operation on a structure whose TxManager belongs to a "
+        "different TxDomain than the running transaction");
+  }
+  c->joined.push_back(mgr);
+  mgr->fire_begin_hook();
+}
+
+void TxDomain::self_abort_check(ThreadCtx* c) {
   const std::uint64_t d = c->desc->status();
   if (status_word::incarnation(d) ==
           status_word::incarnation(c->begin_status) &&
       status_word::status(d) == TxStatus::Aborted) {
-    abort_internal(c, AbortReason::Conflict);
+    c->domain->abort(c, AbortReason::Conflict);
   }
 }
 
-void TxManager::abort_internal(ThreadCtx* c, AbortReason r) {
+void TxDomain::abort(ThreadCtx* c, AbortReason r) {
   Desc* D = c->desc;
   std::uint64_t d = D->status();
   D->abort_cas(d);  // no-op if a peer beat us to it
@@ -81,31 +97,23 @@ void TxManager::abort_internal(ThreadCtx* c, AbortReason r) {
   // our write set and touching cells inside them — retire via EBR rather
   // than deleting in place.
   auto& ebr = smr::EBR::instance();
-  for (const Block& b : c->allocs) ebr.retire(b.ptr, b.deleter);
+  for (const TxBlock& b : c->allocs) ebr.retire(b.ptr, b.deleter);
   c->allocs.clear();
   c->retires.clear();
   c->cleanups.clear();
 
-  c->in_tx = false;
-  tl_active_ = nullptr;
-  if (end_hook_) end_hook_(false);
+  for (TxManager* m : c->joined) m->fire_end_hook(false);
   c->guard.reset();
 
-  c->stats.aborts++;
-  switch (r) {
-    case AbortReason::Conflict: c->stats.conflict_aborts++; break;
-    case AbortReason::Validation: c->stats.validation_aborts++; break;
-    case AbortReason::Capacity: c->stats.capacity_aborts++; break;
-    case AbortReason::User: c->stats.user_aborts++; break;
-  }
+  c->mgr->note_abort(r);
   throw TransactionAborted(r);
 }
 
-void TxManager::finish_commit(ThreadCtx* c) {
+void TxDomain::finish_commit(ThreadCtx* c) {
   // Ownership of tNew'ed blocks passes to the structures; deferred
   // retirements enter SMR now that the transaction's links are final.
   auto& ebr = smr::EBR::instance();
-  for (const Block& b : c->retires) ebr.retire(b.ptr, b.deleter);
+  for (const TxBlock& b : c->retires) ebr.retire(b.ptr, b.deleter);
   c->retires.clear();
   c->allocs.clear();
 
@@ -114,24 +122,24 @@ void TxManager::finish_commit(ThreadCtx* c) {
   // keep the EBR guard: cleanups traverse live nodes.
   c->in_tx = false;
   tl_active_ = nullptr;
-  if (end_hook_) end_hook_(true);
+  for (TxManager* m : c->joined) m->fire_end_hook(true);
   for (auto& f : c->cleanups) f();
   c->cleanups.clear();
   c->compensations.clear();  // commit: inverses never run
 
   c->guard.reset();
-  c->stats.commits++;
+  c->mgr->note_commit();
 }
 
-void TxManager::txEnd() {
+void TxDomain::end() {
   ThreadCtx* c = tl_active_;
-  if (c == nullptr || c->mgr != this) {
+  if (c == nullptr || c->domain != this) {
     throw std::logic_error("txEnd outside a transaction");
   }
   Desc* D = c->desc;
 
   if (!D->set_ready()) {
-    abort_internal(c, AbortReason::Conflict);  // a peer aborted us in InPrep
+    abort(c, AbortReason::Conflict);  // a peer aborted us in InPrep
   }
 
   std::uint64_t d = D->status();
@@ -147,55 +155,15 @@ void TxManager::txEnd() {
     D->uninstall(d);
     finish_commit(c);
   } else {
-    abort_internal(
-        c, valid ? AbortReason::Conflict : AbortReason::Validation);
+    abort(c, valid ? AbortReason::Conflict : AbortReason::Validation);
   }
 }
 
-void TxManager::txAbort() {
+void TxDomain::validateReads() {
   ThreadCtx* c = tl_active_;
-  if (c == nullptr || c->mgr != this) {
-    throw std::logic_error("txAbort outside a transaction");
-  }
-  abort_internal(c, AbortReason::User);
-}
-
-void TxManager::txAbortCapacity() {
-  ThreadCtx* c = tl_active_;
-  if (c == nullptr || c->mgr != this) {
-    throw std::logic_error("txAbortCapacity outside a transaction");
-  }
-  abort_internal(c, AbortReason::Capacity);
-}
-
-void TxManager::validateReads() {
-  ThreadCtx* c = tl_active_;
-  if (c == nullptr || c->mgr != this) return;  // outside tx: nothing tracked
+  if (c == nullptr || c->domain != this) return;  // outside tx: no tracking
   if (!c->desc->validate_reads(c->desc->status())) {
-    abort_internal(c, AbortReason::Validation);
-  }
-}
-
-TxManager::Stats TxManager::stats() const {
-  Stats agg;
-  const int n = ctx_high_water_.load(std::memory_order_acquire);
-  for (int i = 0; i < n; i++) {
-    if (!ctxs_[i]) continue;
-    const Stats& s = ctxs_[i]->stats;
-    agg.commits += s.commits;
-    agg.aborts += s.aborts;
-    agg.conflict_aborts += s.conflict_aborts;
-    agg.validation_aborts += s.validation_aborts;
-    agg.capacity_aborts += s.capacity_aborts;
-    agg.user_aborts += s.user_aborts;
-  }
-  return agg;
-}
-
-void TxManager::reset_stats() {
-  const int n = ctx_high_water_.load(std::memory_order_acquire);
-  for (int i = 0; i < n; i++) {
-    if (ctxs_[i]) ctxs_[i]->stats = Stats{};
+    abort(c, AbortReason::Validation);
   }
 }
 

@@ -1,63 +1,38 @@
 #pragma once
-// TxManager: transaction lifecycle for Medley (paper Fig. 1, Figs. 5-6).
+// TxManager: the per-manager face of Medley transactions (paper Fig. 1,
+// Figs. 5-6). Since the TxDomain refactor, the per-thread substance of a
+// transaction — the descriptor (status word + read/write sets) and the
+// ThreadCtx ephemera — lives in tx_domain.hpp; a TxManager contributes
+// exactly the things that ARE per manager:
 //
-// A TxManager instance is shared by all Composable structures that may
-// participate in the same transactions. Each registered thread owns one
-// reusable descriptor plus a ThreadCtx holding the per-transaction ephemera:
-// the speculation-interval flag, the recent-critical-load ring (which lets
-// addToReadSet recover the {value, counter} pair of a linearizing load
-// without the data structure reasoning about counters), deferred cleanups,
-// speculative allocations, and deferred retirements.
+//   - lifecycle entry points (txBegin/txEnd/txAbort) that delegate to the
+//     domain with `this` as the transaction's root manager;
+//   - begin/end hooks (txMontage announces its epoch through these);
+//   - statistics: commits and aborts-by-reason are attributed to the root
+//     manager of each transaction, in per-thread padded slots.
 //
-// Life cycle of one transaction (owner thread):
-//   txBegin(): new descriptor incarnation, EBR guard pinned, ctx armed.
-//   ...operations execute; critical CASes install the descriptor...
-//   txEnd():  InPrep->InProg, validate reads, commit or abort, uninstall,
-//             then run cleanups (commit) or retire speculative blocks
-//             (abort). Aborts surface as the TransactionAborted exception.
-//
-// Helpers finalize foreign descriptors via Desc::try_finalize; the manager
-// is never involved on the helper path.
+// Managers constructed with the default constructor own a private domain,
+// which reproduces the historical one-manager-per-transaction behavior
+// exactly. Managers constructed over a shared domain (ShardedMedleyStore
+// gives one to every shard) can co-occur in a single transaction: whichever
+// manager txBegin was called on becomes the root; the others join on the
+// first operation of a structure they own (OpStarter below), which fires
+// their begin hooks and enrolls their end hooks. The commit point is still
+// ONE CAS on the root thread-descriptor's status word — multi-manager
+// changes who gets notified and billed, never the MCNS protocol itself.
 
 #include <atomic>
 #include <cstdint>
-#include <exception>
 #include <functional>
 #include <memory>
-#include <optional>
-#include <vector>
+#include <stdexcept>
+#include <string>
 
-#include "core/descriptor.hpp"
-#include "smr/ebr.hpp"
+#include "core/tx_domain.hpp"
 #include "util/align.hpp"
 #include "util/thread_registry.hpp"
 
 namespace medley::core {
-
-enum class AbortReason : std::uint8_t {
-  Conflict,    // a peer aborted us (eager contention management)
-  Validation,  // commit-time read validation failed
-  Capacity,    // read/write set overflow
-  User,        // explicit txAbort()
-};
-
-class TransactionAborted : public std::exception {
- public:
-  explicit TransactionAborted(AbortReason r) : reason_(r) {}
-  AbortReason reason() const noexcept { return reason_; }
-  const char* what() const noexcept override {
-    switch (reason_) {
-      case AbortReason::Conflict: return "transaction aborted: conflict";
-      case AbortReason::Validation: return "transaction aborted: validation";
-      case AbortReason::Capacity: return "transaction aborted: capacity";
-      case AbortReason::User: return "transaction aborted: user";
-    }
-    return "transaction aborted";
-  }
-
- private:
-  AbortReason reason_;
-};
 
 class TxManager {
  public:
@@ -68,147 +43,220 @@ class TxManager {
     std::uint64_t validation_aborts = 0;
     std::uint64_t capacity_aborts = 0;
     std::uint64_t user_aborts = 0;
-  };
 
-  /// One deferred block: pointer plus type-erased deleter.
-  struct Block {
-    void* ptr;
-    void (*deleter)(void*);
-  };
-
-  /// Per-thread transaction context. Public because CASObj<T> (a template)
-  /// manipulates it inline; treat as library-internal.
-  struct ThreadCtx {
-    TxManager* mgr = nullptr;
-    Desc* desc = nullptr;
-    std::uint64_t begin_status = 0;  // incarnation at txBegin
-    bool in_tx = false;
-    bool spec_interval = false;
-
-    // Ring of recent critical loads: cell, raw {lo,hi} observed, and the
-    // value the load returned (differs from lo when the load hit our own
-    // installed descriptor and returned the speculated value).
-    static constexpr int kRingSize = 16;
-    struct RecentLoad {
-      CASCell* cell = nullptr;
-      std::uint64_t raw_lo = 0, raw_hi = 0, returned = 0;
-    };
-    RecentLoad ring[kRingSize];
-    int ring_pos = 0;
-
-    std::vector<std::function<void()>> cleanups;
-    std::vector<std::function<void()>> compensations;  // run (reversed) on abort
-    std::vector<Block> allocs;   // tNew'ed; deleted (via EBR) on abort
-    std::vector<Block> retires;  // tRetire'd; passed to EBR on commit
-    std::optional<smr::EBR::Guard> guard;
-
-    Stats stats;
-
-    void note_load(CASCell* cell, std::uint64_t raw_lo, std::uint64_t raw_hi,
-                   std::uint64_t returned) {
-      ring[ring_pos] = {cell, raw_lo, raw_hi, returned};
-      ring_pos = (ring_pos + 1) % kRingSize;
-    }
-
-    const RecentLoad* find_recent(CASCell* cell, std::uint64_t returned) const {
-      for (int i = 0; i < kRingSize; i++) {
-        int idx = (ring_pos - 1 - i + 2 * kRingSize) % kRingSize;
-        if (ring[idx].cell == cell && ring[idx].returned == returned)
-          return &ring[idx];
-      }
-      return nullptr;
+    Stats& operator+=(const Stats& o) {
+      commits += o.commits;
+      aborts += o.aborts;
+      conflict_aborts += o.conflict_aborts;
+      validation_aborts += o.validation_aborts;
+      capacity_aborts += o.capacity_aborts;
+      user_aborts += o.user_aborts;
+      return *this;
     }
   };
 
-  TxManager();
-  ~TxManager();
+  /// Compatibility aliases: ThreadCtx and its Block moved to tx_domain.hpp
+  /// with the lifecycle, but data-structure code predating the split still
+  /// says TxManager::ThreadCtx.
+  using ThreadCtx = core::ThreadCtx;
+  using Block = TxBlock;
+
+  /// A manager with a private domain: transactions rooted here can only
+  /// touch structures registered with this manager.
+  TxManager() : TxManager(std::make_shared<TxDomain>()) {}
+
+  /// A manager over a shared domain: transactions may span every manager
+  /// sharing it (one descriptor, one commit CAS).
+  explicit TxManager(std::shared_ptr<TxDomain> domain)
+      : domain_(std::move(domain)),
+        slots_(new StatsSlot[util::ThreadRegistry::kMaxThreads]) {}
+
   TxManager(const TxManager&) = delete;
   TxManager& operator=(const TxManager&) = delete;
 
-  /// Start a transaction on the calling thread. No nesting.
-  void txBegin();
+  /// Start a transaction rooted at this manager. No nesting.
+  void txBegin() { domain_->begin(this); }
 
-  /// Attempt to commit; throws TransactionAborted on failure.
-  void txEnd();
+  /// Attempt to commit; throws TransactionAborted on failure. Must be
+  /// called on the transaction's ROOT manager (begin/end pair on the same
+  /// manager — mis-pairing across shard managers is a bug, caught here).
+  void txEnd() {
+    require_rooted_here("txEnd");
+    domain_->end();
+  }
 
   /// Explicitly abort; always throws TransactionAborted(User).
-  void txAbort();
+  [[noreturn]] void txAbort() { abort_active(AbortReason::User); }
 
   /// Abort because a resource ran out mid-transaction (e.g. the Montage
   /// persistent region is exhausted until the next epoch advance frees
   /// retired payloads). Unlike txAbort, the reason is Capacity, which
   /// run_tx treats as transient and retries.
-  [[noreturn]] void txAbortCapacity();
+  [[noreturn]] void txAbortCapacity() { abort_active(AbortReason::Capacity); }
 
   /// Optional opacity support (paper Sec. 3.1): throw now if any tracked
   /// read no longer holds, instead of waiting for commit.
-  void validateReads();
+  void validateReads() { domain_->validateReads(); }
 
-  /// Is the calling thread inside a transaction of this manager?
-  bool in_tx() const;
+  /// Is the calling thread inside a transaction this manager could take
+  /// part in — i.e. one of its domain? (Before the TxDomain split this
+  /// read "a transaction of this manager"; for private-domain managers the
+  /// two are the same thing.)
+  bool in_tx() const { return domain_->in_tx(); }
 
-  /// The calling thread's context if it is inside *any* manager's
+  /// The calling thread's context if it is inside *any* domain's
   /// transaction, else nullptr. Used by CASObj to decide instrumentation.
-  static ThreadCtx* active_ctx() { return tl_active_; }
+  static ThreadCtx* active_ctx() { return TxDomain::active_ctx(); }
 
-  /// Hook invoked at the end of every txBegin (used by txMontage to
-  /// announce the epoch and fold it into the read set).
+  /// Hook invoked when a transaction enrolls this manager (at txBegin for
+  /// the root, at first join for the others; used by txMontage to announce
+  /// the epoch and fold it into the read set).
   void set_begin_hook(std::function<void()> hook) {
     begin_hook_ = std::move(hook);
   }
 
-  /// Hook invoked exactly once when a transaction finishes, with the
-  /// outcome (true = committed). txMontage uses it to finalize payloads
-  /// (register for epoch-batched persistence on commit, eagerly invalidate
-  /// on abort) and to release the epoch announcement.
+  /// Hook invoked exactly once per enrolled transaction when it finishes,
+  /// with the outcome (true = committed). txMontage uses it to finalize
+  /// payloads (register for epoch-batched persistence on commit, eagerly
+  /// invalidate on abort) and to release the epoch announcement.
   void set_end_hook(std::function<void(bool committed)> hook) {
     end_hook_ = std::move(hook);
   }
 
-  /// Aggregated statistics across all threads that used this manager.
-  Stats stats() const;
-  void reset_stats();
+  /// Aggregated statistics across all threads whose transactions were
+  /// ROOTED at this manager (joined managers see the traffic but are not
+  /// billed — one transaction, one bill).
+  Stats stats() const {
+    Stats agg;
+    const int n = util::ThreadRegistry::max_tid();
+    for (int i = 0; i < n && i < util::ThreadRegistry::kMaxThreads; i++) {
+      const StatsSlot& s = slots_[i];
+      agg.commits += s.commits.load(std::memory_order_relaxed);
+      agg.conflict_aborts +=
+          s.conflict_aborts.load(std::memory_order_relaxed);
+      agg.validation_aborts +=
+          s.validation_aborts.load(std::memory_order_relaxed);
+      agg.capacity_aborts +=
+          s.capacity_aborts.load(std::memory_order_relaxed);
+      agg.user_aborts += s.user_aborts.load(std::memory_order_relaxed);
+    }
+    agg.aborts = agg.conflict_aborts + agg.validation_aborts +
+                 agg.capacity_aborts + agg.user_aborts;
+    return agg;
+  }
+
+  /// Zero all slots. Callers must be quiescent (no in-flight transactions
+  /// rooted here): the owner-thread counter bump is load+store, so a
+  /// concurrent reset can be overwritten by an owner's in-flight bump.
+  void reset_stats() {
+    for (int i = 0; i < util::ThreadRegistry::kMaxThreads; i++) {
+      slots_[i].commits.store(0, std::memory_order_relaxed);
+      slots_[i].conflict_aborts.store(0, std::memory_order_relaxed);
+      slots_[i].validation_aborts.store(0, std::memory_order_relaxed);
+      slots_[i].capacity_aborts.store(0, std::memory_order_relaxed);
+      slots_[i].user_aborts.store(0, std::memory_order_relaxed);
+    }
+  }
 
   /// This thread's descriptor (tests & internal use).
-  Desc* my_desc();
+  Desc* my_desc() { return domain_->my_desc(); }
+
+  /// The transaction substrate this manager participates in.
+  TxDomain* domain() const { return domain_.get(); }
+  std::shared_ptr<TxDomain> domain_ptr() const { return domain_; }
 
  private:
+  friend class TxDomain;
   friend class Composable;
   template <typename T>
   friend class CASObj;
   friend struct OpStarter;
 
-  ThreadCtx* my_ctx();
+  // ---- internal entry points (CASObj / Composable / OpStarter) ----------
 
   /// Throw if a peer already aborted the running transaction (cheap
   /// self-status check; keeps doomed transactions from wasting work).
-  void self_abort_check(ThreadCtx* c);
+  void self_abort_check(ThreadCtx* c) { TxDomain::self_abort_check(c); }
 
-  [[noreturn]] void abort_internal(ThreadCtx* c, AbortReason r);
-  void finish_commit(ThreadCtx* c);
+  [[noreturn]] void abort_internal(ThreadCtx* c, AbortReason r) {
+    c->domain->abort(c, r);
+  }
 
-  std::unique_ptr<ThreadCtx> ctxs_[util::ThreadRegistry::kMaxThreads];
-  std::unique_ptr<Desc> descs_[util::ThreadRegistry::kMaxThreads];
-  std::atomic<int> ctx_high_water_{0};
+  /// Enlist this manager in the thread's running transaction (idempotent).
+  void join_active(ThreadCtx* c) { c->domain->join(c, this); }
+
+  struct alignas(util::kCacheLine) StatsSlot {
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> conflict_aborts{0};
+    std::atomic<std::uint64_t> validation_aborts{0};
+    std::atomic<std::uint64_t> capacity_aborts{0};
+    std::atomic<std::uint64_t> user_aborts{0};
+  };
+
+  /// The calling thread's transaction must be rooted at THIS manager.
+  ThreadCtx* require_rooted_here(const char* what) {
+    ThreadCtx* c = TxDomain::active_ctx();
+    if (c == nullptr || c->mgr != this) {
+      throw std::logic_error(std::string(what) +
+                             " outside a transaction rooted here");
+    }
+    return c;
+  }
+
+  [[noreturn]] void abort_active(AbortReason r) {
+    domain_->abort(require_rooted_here("txAbort"), r);
+  }
+
+  void fire_begin_hook() {
+    if (begin_hook_) begin_hook_();
+  }
+  void fire_end_hook(bool committed) {
+    if (end_hook_) end_hook_(committed);
+  }
+
+  // Single writer per slot (the owner thread); relaxed atomics make
+  // cross-thread stats() reads tear-free (slightly stale is fine).
+  StatsSlot& my_slot() { return slots_[util::ThreadRegistry::tid()]; }
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  }
+
+  void note_commit() { bump(my_slot().commits); }
+  void note_abort(AbortReason r) {
+    StatsSlot& s = my_slot();
+    switch (r) {
+      case AbortReason::Conflict: bump(s.conflict_aborts); break;
+      case AbortReason::Validation: bump(s.validation_aborts); break;
+      case AbortReason::Capacity: bump(s.capacity_aborts); break;
+      case AbortReason::User: bump(s.user_aborts); break;
+    }
+  }
+
+  std::shared_ptr<TxDomain> domain_;
   std::function<void()> begin_hook_;
   std::function<void(bool)> end_hook_;
-
-  static thread_local ThreadCtx* tl_active_;
+  std::unique_ptr<StatsSlot[]> slots_;
 };
 
 /// RAII marker at the top of every data structure operation (paper Fig. 1).
 /// Pins the EBR epoch for the operation, resets the speculation interval,
-/// and surfaces a pending forced abort early. `guard` is declared first so
-/// the epoch pin is published before any shared loads in the ctor body.
+/// surfaces a pending forced abort early, and — new with TxDomain — joins
+/// the structure's manager into an ambient transaction so its hooks fire
+/// and cross-manager composition is explicit (a manager from a different
+/// domain throws rather than silently mixing substrates). `guard` is
+/// declared first so the epoch pin is published before any shared loads in
+/// the ctor body.
 struct OpStarter {
   smr::EBR::Guard guard;
-  TxManager::ThreadCtx* ctx;
+  ThreadCtx* ctx;
 
   explicit OpStarter(TxManager* mgr) {
-    ctx = TxManager::active_ctx();
+    ctx = TxDomain::active_ctx();
     if (ctx != nullptr) {
+      mgr->join_active(ctx);
       ctx->spec_interval = false;
-      mgr->self_abort_check(ctx);
+      TxDomain::self_abort_check(ctx);
     }
   }
 };

@@ -256,48 +256,71 @@ class FraserSkiplist : public core::Composable {
   /// restarts the walk from scratch (discarding the partial collection).
   /// Entries registered by an abandoned pass stay in the read set; they
   /// can only cause a spurious validation abort, never an unsound commit.
+  /// Footprint tuning (YCSB-E): an uncontended walk registers through
+  /// plain addToReadSet and pays nothing extra; the first RESTART engages
+  /// dedup — seeding the per-transaction registered-cell set from the
+  /// read set, then routing registrations through addToReadSetDedup — so
+  /// re-walked links are not registered again and the read set grows as
+  /// unique links, not links x passes. (A 4K-entry read set otherwise
+  /// tolerates only ~read_cap/window_size passes before a spurious
+  /// Capacity abort.)
   template <typename InRange>
   std::vector<std::pair<K, V>> scan_impl(const K& lo, InRange&& in_range,
                                          std::size_t limit) {
     OpStarter op(mgr);
     std::vector<std::pair<K, V>> out;
-  retry:
-    out.clear();
-    Pos pos;
-    find(pos, lo);
-    CASObj<Node*>* pred_cell = &pos.preds[0]->next[0];
-    Node* curr = pos.succs[0];
-    // Entry evidence: nothing sits between pred(lo) and the first
-    // candidate (pins absence for an empty result, too).
-    addToReadSet(pred_cell, curr);
-    while (curr != nullptr && out.size() < limit && in_range(curr->key)) {
-      Node* raw = curr->next[0].nbtcLoad();
-      if (is_marked(raw)) {
-        // curr is logically deleted: help unlink it past pred_cell (no
-        // retirement — the remover retires after its own search).
-        if (!pred_cell->nbtcCAS(curr, unmark(raw), false, false)) {
-          goto retry;
-        }
-        // Inside a transaction, a *pre-speculation* help just rewrote a
-        // cell this transaction already registered (pred_cell is always
-        // in the read set by now), so commit-time validation can no
-        // longer pass. Abort here — run_tx retries against the cleaned
-        // list — rather than complete a doomed walk. Within speculation
-        // the CAS joined our write set instead and validation accepts
-        // the own-descriptor overwrite: keep walking.
-        if (auto* c = core::TxManager::active_ctx();
-            c != nullptr && !c->spec_interval) {
-          c->mgr->validateReads();
-        }
-        curr = unmark(raw);
-        continue;
+    bool dedup = false;
+    auto reg = [&](CASObj<Node*>* cell, Node* val) {
+      if (dedup) {
+        addToReadSetDedup(cell, val);
+      } else {
+        addToReadSet(cell, val);
       }
-      out.emplace_back(curr->key, curr->val);
-      addToReadSet(&curr->next[0], raw);  // witnesses curr live + successor
-      pred_cell = &curr->next[0];
-      curr = raw;
+    };
+    for (;;) {
+      out.clear();
+      Pos pos;
+      find(pos, lo);
+      CASObj<Node*>* pred_cell = &pos.preds[0]->next[0];
+      Node* curr = pos.succs[0];
+      // Entry evidence: nothing sits between pred(lo) and the first
+      // candidate (pins absence for an empty result, too).
+      reg(pred_cell, curr);
+      bool restart = false;
+      while (curr != nullptr && out.size() < limit && in_range(curr->key)) {
+        Node* raw = curr->next[0].nbtcLoad();
+        if (is_marked(raw)) {
+          // curr is logically deleted: help unlink it past pred_cell (no
+          // retirement — the remover retires after its own search).
+          if (!pred_cell->nbtcCAS(curr, unmark(raw), false, false)) {
+            restart = true;
+            break;
+          }
+          // Inside a transaction, a *pre-speculation* help just rewrote a
+          // cell this transaction already registered (pred_cell is always
+          // in the read set by now), so commit-time validation can no
+          // longer pass. Abort here — run_tx retries against the cleaned
+          // list — rather than complete a doomed walk. Within speculation
+          // the CAS joined our write set instead and validation accepts
+          // the own-descriptor overwrite: keep walking.
+          if (auto* c = core::TxManager::active_ctx();
+              c != nullptr && !c->spec_interval) {
+            c->mgr->validateReads();
+          }
+          curr = unmark(raw);
+          continue;
+        }
+        out.emplace_back(curr->key, curr->val);
+        reg(&curr->next[0], raw);  // witnesses curr live + successor
+        pred_cell = &curr->next[0];
+        curr = raw;
+      }
+      if (!restart) return out;
+      if (!dedup) {
+        seedReadSetDedup();
+        dedup = true;
+      }
     }
-    return out;
   }
 
   /// Post-linearization cleanup of insert: link `node` at levels 1..h-1.

@@ -83,6 +83,24 @@ class MSQueue : public core::Composable {
     }
   }
 
+  /// Front value without dequeuing. Read-only in both outcomes, with the
+  /// same evidence as empty(): h->next == nullptr proves emptiness and
+  /// pins h's head-ness; for a non-empty queue, n = h->next is write-once,
+  /// so validating h's head-ness keeps n the front until commit. The
+  /// merged ShardedMedleyStore feed uses this to k-way-merge shard feeds
+  /// inside one transaction (peek all heads, dequeue the smallest).
+  std::optional<T> peek() {
+    OpStarter op(mgr);
+    Node* h = head_.obj.nbtcLoad();
+    Node* n = h->next.nbtcLoad();
+    if (n == nullptr) {
+      addToReadSet(&h->next, static_cast<Node*>(nullptr));
+      return std::nullopt;
+    }
+    addToReadSet(&head_.obj, h);
+    return n->val;
+  }
+
   /// True iff the queue appears empty. Read-only in both outcomes:
   ///  - empty: validate h->next == nullptr (which also pins h == head,
   ///    since the head can only move past a node with non-null next);

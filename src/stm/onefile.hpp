@@ -241,12 +241,31 @@ class OneFileSTM {
 
  private:
   /// Published transaction record; per-thread, seqlock-versioned so
-  /// helpers can take a consistent copy.
+  /// helpers can take a consistent copy. Every field a helper may read
+  /// concurrently with the owner's refill is an atomic accessed relaxed —
+  /// the version bumps provide the ordering; torn GENERATIONS are
+  /// discarded by the version re-check, and the atomics keep the races
+  /// out of the C++ memory model (and ThreadSanitizer reports; the plain
+  /// fields here were the one data race TSAN found in the seed).
   struct PubTx {
     std::atomic<std::uint64_t> version{0};  // odd while being (re)filled
-    std::uint64_t seq = 0;                  // commit sequence (snapshot+1)
-    int count = 0;
-    LogEntry log[kMaxWrites];
+    std::atomic<std::uint64_t> seq{0};      // commit sequence (snapshot+1)
+    std::atomic<int> count{0};
+    // Set to `seq` by a helper right BEFORE it advances gseq for this
+    // record. While a record is published, cur_tx_ blocks every other
+    // writer, so gseq can only move by the record's own helpers — which
+    // lets the owner tell "a helper committed MY transaction" (finalized
+    // == my seq: done, return success) from "the world moved before I
+    // published" (finalized stale: unpublish and restart). Without this
+    // the owner restarted a helped-and-committed transaction and applied
+    // it twice (caught by OneFile.ConcurrentIncrementsAllLand once the
+    // seqlock race above stopped halting TSAN first).
+    std::atomic<std::uint64_t> finalized{0};
+    struct Slot {
+      std::atomic<util::Atomic128*> addr{nullptr};
+      std::atomic<std::uint64_t> val{0};
+    };
+    Slot log[kMaxWrites];
   };
 
   void commit_write(Ctx& c) {
@@ -254,51 +273,79 @@ class OneFileSTM {
     PubTx& tx = my_pub();
     // Fill under an odd version so stale helpers can't copy a torn log.
     tx.version.fetch_add(1, std::memory_order_acq_rel);
-    tx.seq = c.snapshot + 1;
-    tx.count = c.log_count;
-    for (int i = 0; i < c.log_count; i++) tx.log[i] = c.log[i];
+    tx.seq.store(c.snapshot + 1, std::memory_order_relaxed);
+    tx.count.store(c.log_count, std::memory_order_relaxed);
+    for (int i = 0; i < c.log_count; i++) {
+      tx.log[i].addr.store(c.log[i].addr, std::memory_order_relaxed);
+      tx.log[i].val.store(c.log[i].val, std::memory_order_relaxed);
+    }
     if (persistent_) {
       // POneFile: the redo log must be durable before it becomes the
-      // recovery point.
-      util::flush_range(tx.log, sizeof(LogEntry) *
-                                    static_cast<std::size_t>(tx.count));
+      // recovery point. (Lock-free atomics have the same layout as the
+      // plain fields they replaced; flushing the slots is unchanged.)
+      util::flush_range(tx.log, sizeof(PubTx::Slot) *
+                                    static_cast<std::size_t>(c.log_count));
       util::flush_range(&tx.seq, sizeof(tx.seq));
       util::sfence();
     }
     tx.version.fetch_add(1, std::memory_order_release);
 
+    const std::uint64_t s = c.snapshot + 1;
     for (;;) {
-      PubTx* expected = nullptr;
-      if (cur_tx_.compare_exchange_strong(expected, &tx,
-                                          std::memory_order_seq_cst)) {
-        PubTx* mine = &tx;
+      util::U128 cur = cur_tx_.load();
+      if (cur.lo != 0) {
+        help(reinterpret_cast<PubTx*>(cur.lo), cur.hi);
+        // Somebody else committed meanwhile; our snapshot is stale.
         if (gseq_.load(std::memory_order_seq_cst) != c.snapshot) {
-          // The world moved between our snapshot and our publication.
-          // CAS, not store: a helper may already have finalized us and a
-          // new writer published — a blind store would clobber their
-          // publication and break writer serialization.
-          cur_tx_.compare_exchange_strong(mine, nullptr,
-                                          std::memory_order_seq_cst);
           throw OFRestart{};
         }
-        apply(tx.log, tx.count, tx.seq);
-        std::uint64_t e = c.snapshot;
-        gseq_.compare_exchange_strong(e, tx.seq, std::memory_order_seq_cst);
-        if (persistent_) {
-          util::flush_range(&gseq_, sizeof(gseq_));
-          util::sfence();
-        }
-        cur_tx_.compare_exchange_strong(mine, nullptr,
-                                        std::memory_order_seq_cst);
-        return;
+        continue;
       }
-      help(expected);
-      // Somebody else committed meanwhile; our snapshot is stale.
+      // Publish tagged with our sequence: {record, seq} pairs are unique
+      // forever (a record's seq strictly increases across its reuses), so
+      // a stale helper's unpublish CAS of an older generation can never
+      // take down this publication (pointer-ABA on the reused record).
+      const util::U128 mine{reinterpret_cast<std::uint64_t>(&tx), s};
+      util::U128 expected = cur;
+      if (!cur_tx_.compare_exchange(expected, mine)) continue;
+
       if (gseq_.load(std::memory_order_seq_cst) != c.snapshot) {
+        if (tx.finalized.load(std::memory_order_acquire) == s) {
+          // A helper finished exactly this transaction (it stamps
+          // `finalized` before advancing gseq): committed, not raced.
+          // It also unpublishes us; the guarded CAS below is a no-op if
+          // it won that race.
+          unpublish(mine);
+          if (persistent_) {
+            util::flush_range(&gseq_, sizeof(gseq_));
+            util::sfence();
+          }
+          return;
+        }
+        // The world moved between our snapshot and our publication.
+        // CAS, not store: a helper may already have finalized us and a
+        // new writer published — a blind store would clobber their
+        // publication and break writer serialization.
+        unpublish(mine);
         throw OFRestart{};
       }
+      // The owner applies from its private ctx log (same contents it
+      // just published; no need to re-read the shared record).
+      apply(c.log, c.log_count, s);
+      std::uint64_t e = c.snapshot;
+      gseq_.compare_exchange_strong(e, s, std::memory_order_seq_cst);
+      if (persistent_) {
+        util::flush_range(&gseq_, sizeof(gseq_));
+        util::sfence();
+      }
+      unpublish(mine);
+      return;
     }
   }
+
+  /// Retire a publication if (and only if) it is still current — the
+  /// tagged pair makes this exact.
+  void unpublish(util::U128 pub) { cur_tx_.compare_exchange(pub, {0, pub.hi}); }
 
   /// Idempotent application: a word is updated only while its sequence is
   /// older than the transaction's.
@@ -315,28 +362,51 @@ class OneFileSTM {
     if (persistent_) util::sfence();
   }
 
-  void help(PubTx* t) {
+  /// Help the transaction published as {t, pub_seq}. Every check pins the
+  /// copy to that exact publication: the record generation must carry
+  /// pub_seq, and the publication word must still hold the tagged pair.
+  void help(PubTx* t, std::uint64_t pub_seq) {
     if (t == nullptr) return;
     const std::uint64_t v1 = t->version.load(std::memory_order_acquire);
     if (v1 & 1) return;  // being refilled
-    const std::uint64_t seq = t->seq;
-    const int n = t->count;
-    if (n < 0 || n > kMaxWrites) return;
+    const std::uint64_t seq = t->seq.load(std::memory_order_relaxed);
+    if (seq != pub_seq) return;  // record moved on: stale pairing
+    const int n = t->count.load(std::memory_order_relaxed);
+    if (n <= 0 || n > kMaxWrites) return;
     thread_local std::vector<LogEntry> copy;
-    copy.assign(t->log, t->log + n);
-    if (t->version.load(std::memory_order_acquire) != v1) return;
-    if (cur_tx_.load(std::memory_order_seq_cst) != t) return;
+    copy.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; i++) {
+      copy[static_cast<std::size_t>(i)] = {
+          t->log[i].addr.load(std::memory_order_relaxed),
+          t->log[i].val.load(std::memory_order_relaxed)};
+    }
+    // Fence, then re-read the version: the copy is only used if the whole
+    // record stayed in the generation observed at v1 (seqlock validate).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (t->version.load(std::memory_order_relaxed) != v1) return;
+    const util::U128 pub{reinterpret_cast<std::uint64_t>(t), pub_seq};
+    if (!(cur_tx_.load() == pub)) return;
     if (gseq_.load(std::memory_order_seq_cst) != seq - 1) return;
-    // The copied log is the one currently published: finish it.
+    // The copied log is the one currently published: finish it. Stamp
+    // `finalized` BEFORE advancing gseq so the owner can attribute the
+    // advance (see PubTx::finalized) — raised monotonically, so a helper
+    // stalled since an older generation can never clobber a newer stamp.
     apply(copy.data(), n, seq);
+    std::uint64_t prev = t->finalized.load(std::memory_order_relaxed);
+    while (prev < seq &&
+           !t->finalized.compare_exchange_weak(prev, seq,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+    }
     std::uint64_t e = seq - 1;
     gseq_.compare_exchange_strong(e, seq, std::memory_order_seq_cst);
-    PubTx* expected = t;
-    cur_tx_.compare_exchange_strong(expected, nullptr,
-                                    std::memory_order_seq_cst);
+    unpublish(pub);
   }
 
-  void help_current() { help(cur_tx_.load(std::memory_order_seq_cst)); }
+  void help_current() {
+    const util::U128 cur = cur_tx_.load();
+    if (cur.lo != 0) help(reinterpret_cast<PubTx*>(cur.lo), cur.hi);
+  }
 
   void flush_retires(Ctx& c) {
     auto& ebr = smr::EBR::instance();
@@ -352,7 +422,10 @@ class OneFileSTM {
 
   const bool persistent_;
   alignas(util::kCacheLine) std::atomic<std::uint64_t> gseq_{0};
-  alignas(util::kCacheLine) std::atomic<PubTx*> cur_tx_{nullptr};
+  // The published write transaction, tagged with its commit sequence:
+  // {PubTx*, seq}. The tag makes unpublish CASes exact under record reuse
+  // (see commit_write).
+  alignas(util::kCacheLine) util::Atomic128 cur_tx_{util::U128{0, 0}};
   std::unique_ptr<PubTx> pubs_[util::ThreadRegistry::kMaxThreads];
 };
 

@@ -32,6 +32,8 @@
 // it is exact in BOTH modes — counted once at commit (including an
 // enclosing transaction's commit), discarded with an aborted attempt.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -135,10 +137,23 @@ class BasicMedleyStore : public core::Composable {
 
   // ---- change feed -------------------------------------------------------
 
+  /// Front of the change feed without consuming it (transactional: the
+  /// head's identity joins the read set). The sharded store's merged poll
+  /// peeks every shard inside one transaction to pick the next entry.
+  std::optional<FeedItem> peek_feed() {
+    std::optional<FeedItem> out;
+    exec([&] { out = feed_.peek(); });
+    return out;
+  }
+
   /// Atomically drain up to `max_entries` committed mutations, oldest
   /// first. Entries leave the feed exactly once (consumer groups are the
-  /// caller's problem). Empty result = feed drained.
+  /// caller's problem). Empty result = feed drained. One call pops at
+  /// most 512 entries (each dequeue costs a descriptor write entry;
+  /// draining past the word-set capacity in one transaction would
+  /// Capacity-abort and retry forever) — drain loops just call again.
   std::vector<FeedItem> poll_feed(std::size_t max_entries) {
+    max_entries = std::min<std::size_t>(max_entries, 512);
     std::vector<FeedItem> out;
     exec([&] {
       out.clear();
@@ -195,8 +210,11 @@ class BasicMedleyStore : public core::Composable {
     return old;
   }
 
-  void feed_append(const FeedItem& item) {
+  void feed_append(FeedItem item) {
     if (!cfg_.feed_enabled) return;
+    // Stamp inside the transaction: an aborted attempt burns a stamp (gaps
+    // are fine); the retry draws a fresh, larger one.
+    item.seq = feed_seq_->fetch_add(1, std::memory_order_relaxed);
     feed_.enqueue(item);
     addToCleanups([this] { stats_.note_feed_push(1); });
   }
@@ -206,6 +224,30 @@ class BasicMedleyStore : public core::Composable {
   StoreConfig cfg_;
   ds::MSQueue<FeedItem> feed_;
   StoreStats stats_;
+  std::atomic<std::uint64_t> owned_feed_seq_{0};
+  std::atomic<std::uint64_t>* feed_seq_ = &owned_feed_seq_;
+
+ public:
+  /// Stamp feed entries from a shared sequencer instead of the store's own
+  /// counter. ShardedMedleyStore points every shard at one sequencer so
+  /// the merged feed can interleave shards near commit order. Call before
+  /// any traffic; the sequencer must outlive the store.
+  void share_feed_sequencer(std::atomic<std::uint64_t>* seq) {
+    feed_seq_ = seq;
+  }
+
+  // ---- sharded-merge internals ------------------------------------------
+  // ShardedMedleyStore's merged poll drains the queue directly inside its
+  // own (ambient) transaction — bypassing poll_feed's per-call vector and
+  // per-entry accounting closure — and defers ONE poll count per shard.
+
+  ds::MSQueue<FeedItem>& feed_queue() { return feed_; }
+
+  /// Commit-exact accounting for `n` entries drained via feed_queue():
+  /// counted once iff the enclosing transaction commits.
+  void defer_feed_poll_accounting(std::size_t n) {
+    if (n > 0) addToCleanups([this, n] { stats_.note_feed_poll(n); });
+  }
 };
 
 }  // namespace medley::store

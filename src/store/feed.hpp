@@ -23,6 +23,15 @@ struct FeedEntry {
   FeedOp op = FeedOp::Put;
   K key{};
   V val{};
+  // Global sequence stamp, drawn from the store's sequencer inside the
+  // enqueuing transaction. Within one feed queue, FIFO position — not the
+  // stamp — is the authoritative serialization order (a transaction can in
+  // principle draw its stamp, stall, and commit after a later-stamped
+  // peer); across the queues of a sharded store, the stamp is the merge
+  // heuristic that interleaves independent shards near commit order. The
+  // sharded merge therefore pops queue HEADS by smallest stamp and never
+  // reorders within a queue, so per-key (= per-shard) order is exact.
+  std::uint64_t seq = 0;
 };
 
 /// Replay a drained feed over a map (tests / recovery of a follower).

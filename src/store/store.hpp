@@ -9,11 +9,19 @@
 //   auto window = kv.range(0, 100);       // atomic ordered snapshot
 //   auto feed = kv.poll_feed(64);         // committed mutations, in order
 //
+//   // Scaling out: hash-partitioned shards, one TxManager per shard,
+//   // cross-shard ops still one atomic transaction.
+//   medley::store::ShardedMedleyStore<uint64_t, uint64_t> skv(4);
+//   skv.multi_put({{1, 10}, {2, 20}});    // may span shards: all-or-nothing
+//   auto all = skv.range(0, 100);         // k-way-merged atomic snapshot
+//
 // See basic_store.hpp for the design notes, medley_store.hpp for the
-// DRAM store, persistent_medley_store.hpp for the crash-surviving one.
+// DRAM store, persistent_medley_store.hpp for the crash-surviving one,
+// sharded_store.hpp for the partitioned one.
 
 #include "store/basic_store.hpp"
 #include "store/feed.hpp"
 #include "store/medley_store.hpp"
 #include "store/persistent_medley_store.hpp"
+#include "store/sharded_store.hpp"
 #include "store/store_stats.hpp"

@@ -28,6 +28,17 @@ class StoreStats {
   struct Snapshot : TxStats {
     std::uint64_t feed_pushed = 0;
     std::uint64_t feed_polled = 0;
+
+    /// Aggregation across stores (ShardedMedleyStore sums its shards'
+    /// snapshots plus the cross-shard block; the YCSB driver sums rows).
+    /// Overloads TxStats::operator+= so the feed counters fold too.
+    using TxStats::operator+=;
+    Snapshot& operator+=(const Snapshot& o) {
+      TxStats::operator+=(o);
+      feed_pushed += o.feed_pushed;
+      feed_polled += o.feed_polled;
+      return *this;
+    }
   };
 
   /// Fold one committed-or-abandoned run_tx outcome into my slot.

@@ -17,6 +17,17 @@ inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// MurmurHash3 fmix64: stateless avalanche of one word. Used wherever a
+/// raw value (std::hash of an integer is identity on common stdlibs, a
+/// pointer) needs spreading before a modulo/mask — shard routing, flat
+/// hash sets.
+inline std::uint64_t mix64(std::uint64_t h) noexcept {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
 class Xoshiro256 {
  public:
   explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {

@@ -12,6 +12,7 @@
 #include "ds/boosted_map.hpp"
 #include "ds/michael_hashtable.hpp"
 #include "test_support.hpp"
+#include "util/backoff.hpp"
 #include "util/rng.hpp"
 
 using medley::TransactionAborted;
@@ -187,6 +188,11 @@ TEST(Boosting, TransfersConserveUnderContention) {
       auto from = rng.next_bounded(kAccounts);
       auto to = rng.next_bounded(kAccounts);
       if (from == to) continue;
+      // Back off between Conflict retries: boosting's bounded-wait locks
+      // give deadlock avoidance, not livelock freedom, and an immediate
+      // abort->retry storm can spin for minutes when every thread runs in
+      // slow motion (TSAN on an oversubscribed single core).
+      medley::util::ExpBackoff backoff;
       for (;;) {
         try {
           mgr.txBegin();
@@ -201,6 +207,7 @@ TEST(Boosting, TransfersConserveUnderContention) {
           break;
         } catch (const TransactionAborted& e) {
           if (e.reason() == medley::AbortReason::User) break;
+          backoff();
         }
       }
     }

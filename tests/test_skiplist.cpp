@@ -347,3 +347,29 @@ TEST(SkiplistOracle, ConcurrentHistorySatisfiesSetInvariants) {
       h::check_set_history(rec.history(), initial, h::observed_state(s)));
   EXPECT_TRUE(s.invariants_hold_slow());
 }
+
+TEST(Skiplist, ScanReadSetFootprintSinglePassExact) {
+  // The read-set evidence of an uncontended scan over n live entries is
+  // EXACTLY n+1 level-0 links (n entry links + the pred(lo) link): the
+  // fast path must not pay any dedup bookkeeping, and nothing may be
+  // registered twice. The restart path (which multiplies footprint by
+  // passes without dedup and is exercised probabilistically under
+  // contention) is covered at the mechanism level in
+  // TxDomain.DedupReadRegistrationSkipsTrackedCells.
+  TxManager mgr;
+  SL s(&mgr);
+  constexpr std::uint64_t kN = 200;
+  for (std::uint64_t k = 1; k <= kN; k++) s.insert(k, k);
+
+  mgr.txBegin();
+  auto r1 = s.range(1, kN);
+  EXPECT_EQ(r1.size(), kN);
+  EXPECT_EQ(mgr.my_desc()->read_count(), static_cast<int>(kN) + 1);
+  mgr.txEnd();
+
+  mgr.txBegin();
+  auto sc = s.scan(50, 40);
+  EXPECT_EQ(sc.size(), 40u);
+  EXPECT_EQ(mgr.my_desc()->read_count(), 41);
+  mgr.txEnd();
+}

@@ -16,6 +16,8 @@ struct Harness : core::Composable {
   explicit Harness(core::TxManager* m) : Composable(m) {}
   using Composable::addToCleanups;
   using Composable::addToReadSet;
+  using Composable::addToReadSetDedup;
+  using Composable::seedReadSetDedup;
   using Composable::tDelete;
   using Composable::tNew;
   using Composable::tRetire;

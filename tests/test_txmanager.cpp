@@ -513,3 +513,143 @@ TEST(TxAbortPaths, CapacityAbortIsRetriedByRunTx) {
   EXPECT_EQ(st.commits, 1u);
   EXPECT_THROW(mgr.txAbortCapacity(), std::logic_error);  // outside any tx
 }
+
+// ---------------------------------------------------------------------
+// TxDomain: managers sharing a domain compose into one transaction; a
+// manager from a foreign domain refuses to.
+
+TEST(TxDomain, SharedDomainManagersComposeIntoOneTransaction) {
+  auto domain = std::make_shared<medley::TxDomain>();
+  TxManager mgr_a(domain), mgr_b(domain);
+  U64Obj xa{1}, xb{2};
+  Harness ha(&mgr_a), hb(&mgr_b);
+
+  // One transaction rooted at A writes cells of structures under BOTH
+  // managers; the commit is one status-word CAS, so either both values
+  // land or neither.
+  mgr_a.txBegin();
+  {
+    medley::OpStarter op_a(&mgr_a);
+    medley::core::TxDomain::active_ctx()->spec_interval = true;
+    EXPECT_TRUE(xa.nbtcCAS(1, 10, false, false));
+  }
+  {
+    medley::OpStarter op_b(&mgr_b);  // joins B into A's transaction
+    medley::core::TxDomain::active_ctx()->spec_interval = true;
+    EXPECT_TRUE(xb.nbtcCAS(2, 20, false, false));
+  }
+  // Mid-flight, neither speculative value is observable by plain loads
+  // from this thread's perspective pre-commit... they are our own writes,
+  // so verify via the descriptor instead: both writes, ONE write set.
+  EXPECT_EQ(mgr_a.my_desc()->write_count(), 2);
+  EXPECT_EQ(mgr_a.my_desc(), mgr_b.my_desc()) << "one thread, one desc";
+  mgr_a.txEnd();
+
+  EXPECT_EQ(xa.load(), 10u);
+  EXPECT_EQ(xb.load(), 20u);
+  // Billing: the transaction is rooted at A; B saw traffic but no bill.
+  EXPECT_EQ(mgr_a.stats().commits, 1u);
+  EXPECT_EQ(mgr_b.stats().commits, 0u);
+}
+
+TEST(TxDomain, SharedDomainAbortRollsBackAcrossManagers) {
+  auto domain = std::make_shared<medley::TxDomain>();
+  TxManager mgr_a(domain), mgr_b(domain);
+  U64Obj xa{1}, xb{2};
+
+  try {
+    mgr_a.txBegin();
+    {
+      medley::OpStarter op(&mgr_a);
+      medley::core::TxDomain::active_ctx()->spec_interval = true;
+      EXPECT_TRUE(xa.nbtcCAS(1, 10, false, false));
+    }
+    {
+      medley::OpStarter op(&mgr_b);
+      medley::core::TxDomain::active_ctx()->spec_interval = true;
+      EXPECT_TRUE(xb.nbtcCAS(2, 20, false, false));
+    }
+    mgr_a.txAbort();
+    FAIL() << "txAbort must throw";
+  } catch (const TransactionAborted& e) {
+    EXPECT_EQ(e.reason(), AbortReason::User);
+  }
+  EXPECT_EQ(xa.load(), 1u) << "manager-A write survived the abort";
+  EXPECT_EQ(xb.load(), 2u) << "manager-B write survived the abort";
+  EXPECT_EQ(mgr_a.stats().user_aborts, 1u);
+  EXPECT_EQ(mgr_b.stats().aborts, 0u);
+}
+
+TEST(TxDomain, ForeignDomainManagerThrowsInsteadOfSilentlyMixing) {
+  TxManager mgr_a;  // private domain
+  TxManager mgr_b;  // different private domain
+  mgr_a.txBegin();
+  EXPECT_THROW({ medley::OpStarter op(&mgr_b); }, std::logic_error);
+  mgr_a.txEnd();
+}
+
+TEST(TxDomain, JoinedManagerHooksFireOncePerTransaction) {
+  auto domain = std::make_shared<medley::TxDomain>();
+  TxManager mgr_a(domain), mgr_b(domain);
+  int b_begins = 0, b_commits = 0, b_aborts = 0;
+  mgr_b.set_begin_hook([&] { b_begins++; });
+  mgr_b.set_end_hook([&](bool committed) {
+    (committed ? b_commits : b_aborts)++;
+  });
+
+  // B untouched: its hooks stay silent.
+  mgr_a.txBegin();
+  mgr_a.txEnd();
+  EXPECT_EQ(b_begins, 0);
+  EXPECT_EQ(b_commits, 0);
+
+  // B touched twice in one transaction: begin hook fires once (at join),
+  // end hook once (at commit).
+  mgr_a.txBegin();
+  { medley::OpStarter op(&mgr_b); }
+  { medley::OpStarter op(&mgr_b); }
+  mgr_a.txEnd();
+  EXPECT_EQ(b_begins, 1);
+  EXPECT_EQ(b_commits, 1);
+  EXPECT_EQ(b_aborts, 0);
+
+  // And the abort path reports the outcome to every joined manager.
+  try {
+    mgr_a.txBegin();
+    { medley::OpStarter op(&mgr_b); }
+    mgr_a.txAbort();
+  } catch (const TransactionAborted&) {
+  }
+  EXPECT_EQ(b_begins, 2);
+  EXPECT_EQ(b_aborts, 1);
+}
+
+TEST(TxDomain, DedupReadRegistrationSkipsTrackedCells) {
+  // The mechanism behind FraserSkiplist's restarted-scan footprint bound:
+  // seedReadSetDedup folds every already-tracked cell into the dedup set,
+  // after which addToReadSetDedup registers only NEW cells. Scope is one
+  // transaction (the set is generation-cleared at txBegin, O(1)).
+  TxManager mgr;
+  Harness h(&mgr);
+  U64Obj x{5}, y{6};
+
+  mgr.txBegin();
+  h.addToReadSet(&x, x.nbtcLoad());
+  h.addToReadSet(&x, x.nbtcLoad());  // plain interface never dedups
+  EXPECT_EQ(mgr.my_desc()->read_count(), 2);
+
+  h.seedReadSetDedup();  // engage: x is now tracked
+  h.addToReadSetDedup(&x, x.nbtcLoad());
+  EXPECT_EQ(mgr.my_desc()->read_count(), 2) << "tracked cell re-registered";
+  h.addToReadSetDedup(&y, y.nbtcLoad());  // new cell: registered + tracked
+  EXPECT_EQ(mgr.my_desc()->read_count(), 3);
+  h.addToReadSetDedup(&y, y.nbtcLoad());
+  EXPECT_EQ(mgr.my_desc()->read_count(), 3);
+  mgr.txEnd();
+
+  // Fresh transaction: the dedup set is reset and registration is fresh.
+  mgr.txBegin();
+  h.addToReadSetDedup(&x, x.nbtcLoad());
+  EXPECT_EQ(mgr.my_desc()->read_count(), 1);
+  mgr.txEnd();
+}
