@@ -1,13 +1,32 @@
-// Ablation: eager contention management under skew (DESIGN.md E9).
+// Ablation: contention management under skew (DESIGN.md E9; ISSUE 4).
 //
 // Medley resolves conflicts eagerly (abort the other transaction on
-// sight), which guarantees only obstruction freedom; the paper defers
-// lazy/lock-free contention management to future work. This bench maps
-// the abort landscape: transaction size x key skew (uniform vs Zipf 0.9 /
-// 0.99) on the Medley hash table, reporting committed throughput and
-// aborts per committed transaction.
+// sight), which guarantees only obstruction freedom; progress under
+// contention comes from the execution-policy layer (core/tx_exec.hpp).
+// Two sweeps share this binary:
+//
+//   ablation_contention/...   the original abort-landscape map —
+//                             transaction size x key skew (uniform vs
+//                             Zipf 0.9 / 0.99) under the default policy
+//                             (NoOp contention management);
+//   ablation_cm/<CM>/...      the contention-manager comparison: the SAME
+//                             skewed workload executed under {NoOp,
+//                             ExpBackoff, Karma} x thread counts. Rows
+//                             are distinguishable by the CM name in the
+//                             benchmark name and the `cm` counter; each
+//                             row reports committed throughput plus
+//                             aborts/retries per committed transaction
+//                             split by reason.
+//
+// Recorded output: BENCH_ablation_cm.json (see README). The CI smoke step
+// runs the cm sweep at MEDLEY_YCSB_SMOKE scale.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "ds/michael_hashtable.hpp"
 #include "harness.hpp"
@@ -19,70 +38,114 @@ namespace {
 
 struct System {
   medley::TxManager mgr;
+  medley::TxExecutor exec;
   std::unique_ptr<medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>
       map;
+
+  explicit System(medley::TxPolicy policy = {}) : exec(std::move(policy)) {
+    map = std::make_unique<
+        medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>(&mgr,
+                                                                    2048);
+    for (std::uint64_t k = 1; k <= 1024; k += 2) {
+      map->insert(k, k);
+    }
+  }
 };
 System* g_sys = nullptr;
+
+/// Contention managers under comparison; index = state.range(2) of the cm
+/// sweep (0 for the legacy ablation_contention rows).
+std::shared_ptr<medley::ContentionManager> make_cm(int which) {
+  switch (which) {
+    case 1: return std::make_shared<medley::ExpBackoffCM>();
+    case 2: return std::make_shared<medley::KarmaCM>();
+    default: return std::make_shared<medley::NoOpCM>();
+  }
+}
 
 void bm_contention(benchmark::State& state) {
   const auto tx_ops = static_cast<std::uint64_t>(state.range(0));
   const double theta = static_cast<double>(state.range(1)) / 100.0;
-  const Config& cfg = Config::get();
   // Small key range concentrates conflicts further under skew.
   const std::uint64_t keys = 1024;
   medley::util::ZipfGenerator zipf(keys, theta, mb::thread_seed(state));
   medley::util::Xoshiro256 rng(mb::thread_seed(state) ^ 0x1234);
-  (void)cfg;
 
-  std::uint64_t aborts = 0;
+  medley::TxStats st;
   for (auto _ : state) {
-    for (;;) {
-      try {
-        g_sys->mgr.txBegin();
-        for (std::uint64_t i = 0; i < tx_ops; i++) {
-          const std::uint64_t k = zipf.next() + 1;
-          if (rng.next() & 1) {
-            g_sys->map->put(k, k);
-          } else {
-            g_sys->map->get(k);
-          }
-        }
-        g_sys->mgr.txEnd();
-        break;
-      } catch (const medley::TransactionAborted&) {
-        aborts++;
-      }
-    }
+    st += g_sys->exec
+              .execute(g_sys->mgr,
+                       [&] {
+                         for (std::uint64_t i = 0; i < tx_ops; i++) {
+                           const std::uint64_t k = zipf.next() + 1;
+                           if (rng.next() & 1) {
+                             g_sys->map->put(k, k);
+                           } else {
+                             g_sys->map->get(k);
+                           }
+                         }
+                       })
+              .stats;
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["aborts_per_tx"] = benchmark::Counter(
-      static_cast<double>(aborts), benchmark::Counter::kAvgIterations);
+  const auto per_tx = [&](std::uint64_t n) {
+    return benchmark::Counter(static_cast<double>(n),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["aborts_per_tx"] = per_tx(st.aborts());
+  state.counters["retries_per_tx"] = per_tx(st.retries);
+  state.counters["aborts_conflict"] = per_tx(st.conflict_aborts);
+  state.counters["aborts_validation"] = per_tx(st.validation_aborts);
   state.counters["tx_ops"] = static_cast<double>(tx_ops);
   state.counters["zipf_x100"] = static_cast<double>(state.range(1));
+  state.counters["cm"] = benchmark::Counter(
+      static_cast<double>(state.range(2)), benchmark::Counter::kAvgThreads);
 }
 
-void register_all() {
+void setup_sys(const benchmark::State& state) {
+  g_sys = new System(
+      medley::TxPolicy::with(make_cm(static_cast<int>(state.range(2)))));
+}
+void teardown_sys(const benchmark::State&) {
+  delete g_sys;
+  g_sys = nullptr;
+}
+
+/// Legacy abort-landscape map (NoOp policy), unchanged row names.
+void register_landscape() {
   for (int ops : {1, 4, 10}) {
     for (int theta : {0, 90, 99}) {
       std::string name = "ablation_contention/ops:" + std::to_string(ops) +
                          "/zipf:0." + (theta == 0 ? "00" : std::to_string(theta));
       auto* b = benchmark::RegisterBenchmark(name.c_str(), bm_contention);
-      b->Args({ops, theta});
-      b->Setup([](const benchmark::State&) {
-        g_sys = new System();
-        g_sys->map = std::make_unique<
-            medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>(
-            &g_sys->mgr, 2048);
-        for (std::uint64_t k = 1; k <= 1024; k += 2) {
-          g_sys->map->insert(k, k);
-        }
-      });
-      b->Teardown([](const benchmark::State&) {
-        delete g_sys;
-        g_sys = nullptr;
-      });
+      b->Args({ops, theta, /*cm=*/0});
+      b->Setup(setup_sys)->Teardown(teardown_sys);
       b->UseRealTime()->MinTime(Config::get().min_time);
       for (int t : Config::get().threads) b->Threads(t);
+    }
+  }
+}
+
+/// The contention-manager sweep: {NoOp, ExpBackoff, Karma} x threads on
+/// the high-contention corners (10-op transactions, Zipf 0.90 and 0.99).
+void register_cm_sweep() {
+  const bool smoke = [] {
+    const char* s = std::getenv("MEDLEY_YCSB_SMOKE");
+    return s != nullptr && s[0] == '1';
+  }();
+  const double min_time = smoke ? 0.05 : Config::get().min_time;
+  const std::vector<int> threads =
+      smoke ? std::vector<int>{2} : Config::get().threads;
+  static const char* kCmNames[] = {"NoOp", "ExpBackoff", "Karma"};
+  for (int cm = 0; cm < 3; cm++) {
+    for (int theta : {90, 99}) {
+      std::string name = std::string("ablation_cm/") + kCmNames[cm] +
+                         "/ops:10/zipf:0." + std::to_string(theta);
+      auto* b = benchmark::RegisterBenchmark(name.c_str(), bm_contention);
+      b->Args({10, theta, cm});
+      b->Setup(setup_sys)->Teardown(teardown_sys);
+      b->UseRealTime()->MinTime(min_time);
+      for (int t : threads) b->Threads(t);
     }
   }
 }
@@ -90,7 +153,8 @@ void register_all() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  register_all();
+  register_landscape();
+  register_cm_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -24,6 +24,9 @@ struct System {
   std::unique_ptr<medley::montage::PRegion> region;
   std::unique_ptr<medley::montage::EpochSys> es;
   medley::TxManager mgr;
+  // Capacity aborts wait on the epoch advancer; ExpBackoffCM yields to it.
+  medley::TxExecutor exec{
+      medley::TxPolicy::with(std::make_shared<medley::ExpBackoffCM>())};
   std::unique_ptr<medley::montage::TxMontageHashTable> map;
 
   explicit System(std::uint64_t epoch_ms) {
@@ -39,9 +42,7 @@ struct System {
     map = std::make_unique<medley::montage::TxMontageHashTable>(
         &mgr, es.get(), 1, Config::get().keyspace);
     mb::preload(Config::get(), [&](std::uint64_t k) {
-      bool ok = false;
-      medley::run_tx(mgr, [&] { ok = map->insert(k, k); });
-      return ok;
+      return *exec.execute(mgr, [&] { return map->insert(k, k); }).value;
     });
     es->start_advancer(epoch_ms);
   }
@@ -61,22 +62,16 @@ void bm_epoch(benchmark::State& state) {
   if (state.thread_index() == 0) g_sys->mgr.reset_stats();
   for (auto _ : state) {
     const std::uint64_t n = mb::tx_size(rng);
-    for (;;) {
-      try {
-        g_sys->mgr.txBegin();
-        for (std::uint64_t i = 0; i < n; i++) {
-          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-          if (rng.next() & 1) {
-            g_sys->map->insert(k, k);
-          } else {
-            g_sys->map->remove(k);
-          }
+    g_sys->exec.execute(g_sys->mgr, [&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        if (rng.next() & 1) {
+          g_sys->map->insert(k, k);
+        } else {
+          g_sys->map->remove(k);
         }
-        g_sys->mgr.txEnd();
-        break;
-      } catch (const medley::TransactionAborted&) {
       }
-    }
+    });
   }
   state.SetItemsProcessed(state.iterations());
   if (state.thread_index() == 0) {

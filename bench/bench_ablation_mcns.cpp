@@ -116,14 +116,13 @@ void bm_mcns_contended(benchmark::State& state) {
   static medley::TxManager mgr;
   static medley::CASObj<std::uint64_t>* hot = nullptr;
   if (state.thread_index() == 0) hot = new medley::CASObj<std::uint64_t>(0);
+  // One attempt per iteration (aborts are the measurement, not retried).
+  medley::TxExecutor exec{medley::TxPolicy::bounded(1)};
   for (auto _ : state) {
-    try {
-      mgr.txBegin();
+    exec.execute(mgr, [&] {
       auto v = hot->nbtcLoad();
       hot->nbtcCAS(v, v + 1, true, true);
-      mgr.txEnd();
-    } catch (const medley::TransactionAborted&) {
-    }
+    });
   }
   if (state.thread_index() == 0) {
     delete hot;

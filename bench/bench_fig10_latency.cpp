@@ -67,6 +67,7 @@ void bm_original(benchmark::State& state) {
 
 struct MedleySkip {
   medley::TxManager mgr;
+  medley::TxExecutor exec;  // default policy = pure eager retry
   std::unique_ptr<medley::ds::FraserSkiplist<std::uint64_t, std::uint64_t>>
       map;
 };
@@ -89,22 +90,16 @@ void bm_txon(benchmark::State& state) {
   medley::util::Xoshiro256 rng(mb::thread_seed(state));
   for (auto _ : state) {
     const std::uint64_t n = mb::tx_size(rng);
-    for (;;) {
-      try {
-        g_medley->mgr.txBegin();
-        for (std::uint64_t i = 0; i < n; i++) {
-          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-          switch (mb::pick_op(r, rng)) {
-            case OpKind::Get: g_medley->map->get(k); break;
-            case OpKind::Insert: g_medley->map->insert(k, k); break;
-            case OpKind::Remove: g_medley->map->remove(k); break;
-          }
+    g_medley->exec.execute(g_medley->mgr, [&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        switch (mb::pick_op(r, rng)) {
+          case OpKind::Get: g_medley->map->get(k); break;
+          case OpKind::Insert: g_medley->map->insert(k, k); break;
+          case OpKind::Remove: g_medley->map->remove(k); break;
         }
-        g_medley->mgr.txEnd();
-        break;
-      } catch (const medley::TransactionAborted&) {
       }
-    }
+    });
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -115,6 +110,9 @@ struct MontageSkip {
   std::unique_ptr<medley::montage::PRegion> region;
   std::unique_ptr<medley::montage::EpochSys> es;
   medley::TxManager mgr;
+  // Capacity aborts wait on the epoch advancer; ExpBackoffCM yields to it.
+  medley::TxExecutor exec{
+      medley::TxPolicy::with(std::make_shared<medley::ExpBackoffCM>())};
   std::unique_ptr<medley::montage::TxMontageSkiplist> map;
   bool advancer = false;
 
@@ -128,9 +126,7 @@ struct MontageSkip {
     map = std::make_unique<medley::montage::TxMontageSkiplist>(&mgr,
                                                                es.get(), 1);
     mb::preload(Config::get(), [&](std::uint64_t k) {
-      bool ok = false;
-      medley::run_tx(mgr, [&] { ok = map->insert(k, k); });
-      return ok;
+      return *exec.execute(mgr, [&] { return map->insert(k, k); }).value;
     });
     advancer = persist_on;
     if (persist_on) es->start_advancer(10);
@@ -162,22 +158,16 @@ void bm_nvm_txon(benchmark::State& state) {
   medley::util::Xoshiro256 rng(mb::thread_seed(state));
   for (auto _ : state) {
     const std::uint64_t n = mb::tx_size(rng);
-    for (;;) {
-      try {
-        g_montage->mgr.txBegin();
-        for (std::uint64_t i = 0; i < n; i++) {
-          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-          switch (mb::pick_op(r, rng)) {
-            case OpKind::Get: g_montage->map->get(k); break;
-            case OpKind::Insert: g_montage->map->insert(k, k); break;
-            case OpKind::Remove: g_montage->map->remove(k); break;
-          }
+    g_montage->exec.execute(g_montage->mgr, [&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        switch (mb::pick_op(r, rng)) {
+          case OpKind::Get: g_montage->map->get(k); break;
+          case OpKind::Insert: g_montage->map->insert(k, k); break;
+          case OpKind::Remove: g_montage->map->remove(k); break;
         }
-        g_montage->mgr.txEnd();
-        break;
-      } catch (const medley::TransactionAborted&) {
       }
-    }
+    });
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -37,6 +37,7 @@ struct MedleyHashAdapter {
   static const char* name() { return "Medley"; }
 
   medley::TxManager mgr;
+  medley::TxExecutor exec;  // default policy = pure eager retry (the paper)
   std::unique_ptr<medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>
       map;
 
@@ -50,24 +51,17 @@ struct MedleyHashAdapter {
   std::uint64_t tx(medley::util::Xoshiro256& rng, const Ratio& r,
                    const Config& cfg) {
     const std::uint64_t n = mb::tx_size(rng);
-    std::uint64_t aborts = 0;
-    for (;;) {
-      try {
-        mgr.txBegin();
-        for (std::uint64_t i = 0; i < n; i++) {
-          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-          switch (mb::pick_op(r, rng)) {
-            case OpKind::Get: map->get(k); break;
-            case OpKind::Insert: map->insert(k, k); break;
-            case OpKind::Remove: map->remove(k); break;
-          }
+    const auto res = exec.execute(mgr, [&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        switch (mb::pick_op(r, rng)) {
+          case OpKind::Get: map->get(k); break;
+          case OpKind::Insert: map->insert(k, k); break;
+          case OpKind::Remove: map->remove(k); break;
         }
-        mgr.txEnd();
-        return aborts;
-      } catch (const medley::TransactionAborted&) {
-        aborts++;
       }
-    }
+    });
+    return res.stats.aborts();
   }
 };
 
@@ -78,6 +72,11 @@ struct TxMontageHashAdapter {
   std::unique_ptr<medley::montage::PRegion> region;
   std::unique_ptr<medley::montage::EpochSys> es;
   medley::TxManager mgr;
+  // Capacity aborts wait on the epoch advancer; ExpBackoffCM yields to it
+  // instead of spinning through doomed retries (what the hand-rolled loop
+  // special-cased before).
+  medley::TxExecutor exec{
+      medley::TxPolicy::with(std::make_shared<medley::ExpBackoffCM>())};
   std::unique_ptr<medley::montage::TxMontageHashTable> map;
 
   void setup(const Config& cfg) {
@@ -90,9 +89,7 @@ struct TxMontageHashAdapter {
     map = std::make_unique<medley::montage::TxMontageHashTable>(
         &mgr, es.get(), /*sid=*/1, cfg.keyspace);
     mb::preload(cfg, [&](std::uint64_t k) {
-      bool ok = false;
-      medley::run_tx(mgr, [&] { ok = map->insert(k, k); });
-      return ok;
+      return *exec.execute(mgr, [&] { return map->insert(k, k); }).value;
     });
     es->start_advancer(10);  // paper-style epoch length
   }
@@ -108,30 +105,17 @@ struct TxMontageHashAdapter {
   std::uint64_t tx(medley::util::Xoshiro256& rng, const Ratio& r,
                    const Config& cfg) {
     const std::uint64_t n = mb::tx_size(rng);
-    std::uint64_t aborts = 0;
-    for (;;) {
-      try {
-        mgr.txBegin();
-        for (std::uint64_t i = 0; i < n; i++) {
-          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-          switch (mb::pick_op(r, rng)) {
-            case OpKind::Get: map->get(k); break;
-            case OpKind::Insert: map->insert(k, k); break;
-            case OpKind::Remove: map->remove(k); break;
-          }
-        }
-        mgr.txEnd();
-        return aborts;
-      } catch (const medley::TransactionAborted& e) {
-        aborts++;
-        // Capacity aborts mean the persistent region is waiting on the
-        // next epoch advance to free retired payloads; give the advancer
-        // thread CPU instead of spinning through doomed retries.
-        if (e.reason() == medley::AbortReason::Capacity) {
-          std::this_thread::yield();
+    const auto res = exec.execute(mgr, [&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        switch (mb::pick_op(r, rng)) {
+          case OpKind::Get: map->get(k); break;
+          case OpKind::Insert: map->insert(k, k); break;
+          case OpKind::Remove: map->remove(k); break;
         }
       }
-    }
+    });
+    return res.stats.aborts();
   }
 };
 

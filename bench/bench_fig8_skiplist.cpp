@@ -38,6 +38,7 @@ struct MedleySkipAdapter {
   static const char* name() { return "Medley"; }
 
   medley::TxManager mgr;
+  medley::TxExecutor exec;  // default policy = pure eager retry (the paper)
   std::unique_ptr<medley::ds::FraserSkiplist<std::uint64_t, std::uint64_t>>
       map;
 
@@ -50,24 +51,17 @@ struct MedleySkipAdapter {
   std::uint64_t tx(medley::util::Xoshiro256& rng, const Ratio& r,
                    const Config& cfg) {
     const std::uint64_t n = mb::tx_size(rng);
-    std::uint64_t aborts = 0;
-    for (;;) {
-      try {
-        mgr.txBegin();
-        for (std::uint64_t i = 0; i < n; i++) {
-          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-          switch (mb::pick_op(r, rng)) {
-            case OpKind::Get: map->get(k); break;
-            case OpKind::Insert: map->insert(k, k); break;
-            case OpKind::Remove: map->remove(k); break;
-          }
+    const auto res = exec.execute(mgr, [&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        switch (mb::pick_op(r, rng)) {
+          case OpKind::Get: map->get(k); break;
+          case OpKind::Insert: map->insert(k, k); break;
+          case OpKind::Remove: map->remove(k); break;
         }
-        mgr.txEnd();
-        return aborts;
-      } catch (const medley::TransactionAborted&) {
-        aborts++;
       }
-    }
+    });
+    return res.stats.aborts();
   }
 };
 
@@ -78,6 +72,9 @@ struct TxMontageSkipAdapter {
   std::unique_ptr<medley::montage::PRegion> region;
   std::unique_ptr<medley::montage::EpochSys> es;
   medley::TxManager mgr;
+  // Capacity aborts wait on the epoch advancer; ExpBackoffCM yields to it.
+  medley::TxExecutor exec{
+      medley::TxPolicy::with(std::make_shared<medley::ExpBackoffCM>())};
   std::unique_ptr<medley::montage::TxMontageSkiplist> map;
 
   void setup(const Config& cfg) {
@@ -90,9 +87,7 @@ struct TxMontageSkipAdapter {
     map = std::make_unique<medley::montage::TxMontageSkiplist>(&mgr, es.get(),
                                                                /*sid=*/1);
     mb::preload(cfg, [&](std::uint64_t k) {
-      bool ok = false;
-      medley::run_tx(mgr, [&] { ok = map->insert(k, k); });
-      return ok;
+      return *exec.execute(mgr, [&] { return map->insert(k, k); }).value;
     });
     es->start_advancer(10);
   }
@@ -108,24 +103,17 @@ struct TxMontageSkipAdapter {
   std::uint64_t tx(medley::util::Xoshiro256& rng, const Ratio& r,
                    const Config& cfg) {
     const std::uint64_t n = mb::tx_size(rng);
-    std::uint64_t aborts = 0;
-    for (;;) {
-      try {
-        mgr.txBegin();
-        for (std::uint64_t i = 0; i < n; i++) {
-          const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-          switch (mb::pick_op(r, rng)) {
-            case OpKind::Get: map->get(k); break;
-            case OpKind::Insert: map->insert(k, k); break;
-            case OpKind::Remove: map->remove(k); break;
-          }
+    const auto res = exec.execute(mgr, [&] {
+      for (std::uint64_t i = 0; i < n; i++) {
+        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
+        switch (mb::pick_op(r, rng)) {
+          case OpKind::Get: map->get(k); break;
+          case OpKind::Insert: map->insert(k, k); break;
+          case OpKind::Remove: map->remove(k); break;
         }
-        mgr.txEnd();
-        return aborts;
-      } catch (const medley::TransactionAborted&) {
-        aborts++;
       }
-    }
+    });
+    return res.stats.aborts();
   }
 };
 

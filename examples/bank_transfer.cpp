@@ -15,7 +15,6 @@
 #include "ds/fraser_skiplist.hpp"
 #include "util/rng.hpp"
 
-using medley::TransactionAborted;
 using medley::TxManager;
 using Accounts = medley::ds::FraserSkiplist<std::uint64_t, std::uint64_t>;
 
@@ -26,6 +25,10 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kInitial = 1000;
 
   TxManager mgr;
+  // Shared executor: exponential backoff between aborted attempts keeps
+  // the workers from retry-storming each other on the hot accounts.
+  medley::TxExecutor exec{
+      medley::TxPolicy::with(std::make_shared<medley::ExpBackoffCM>())};
   Accounts accounts(&mgr);
   for (std::uint64_t a = 1; a <= kAccounts; a++) {
     accounts.insert(a, kInitial);
@@ -38,17 +41,15 @@ int main(int argc, char** argv) {
   // equal the initial total.
   std::thread auditor([&] {
     while (!stop.load()) {
-      try {
-        mgr.txBegin();
+      auto r = exec.execute(mgr, [&] {
         std::uint64_t total = 0;
         for (std::uint64_t a = 1; a <= kAccounts; a++) {
           total += accounts.get(a).value_or(0);
         }
-        mgr.txEnd();
-        audits.fetch_add(1);
-        if (total != kAccounts * kInitial) bad_audits.fetch_add(1);
-      } catch (const TransactionAborted&) {
-      }
+        return total;
+      });
+      audits.fetch_add(1);
+      if (*r.value != kAccounts * kInitial) bad_audits.fetch_add(1);
     }
   });
 
@@ -61,10 +62,10 @@ int main(int argc, char** argv) {
         const std::uint64_t to = rng.next_bounded(kAccounts) + 1;
         const std::uint64_t amount = rng.next_bounded(20) + 1;
         if (from == to) continue;
-        medley::run_tx(mgr, [&] {
+        exec.execute(mgr, [&] {
           auto vf = accounts.get(from);
           auto vt = accounts.get(to);
-          if (!vf || *vf < amount) mgr.txAbort();
+          if (!vf || *vf < amount) mgr.txAbort();  // refused: terminal
           accounts.remove(from);
           accounts.insert(from, *vf - amount);
           accounts.remove(to);

@@ -25,7 +25,6 @@
 #include "ds/ms_queue.hpp"
 #include "util/rng.hpp"
 
-using medley::TransactionAborted;
 using medley::TxManager;
 
 int main(int argc, char** argv) {
@@ -50,38 +49,30 @@ int main(int argc, char** argv) {
   }
 
   std::atomic<std::uint64_t> shipped{0}, rejected{0};
+  enum class Outcome { Drained, Rejected, Shipped };
+  medley::TxExecutor exec;  // default policy: conflicts retried
   std::vector<std::thread> pool;
   for (int w = 0; w < workers; w++) {
     pool.emplace_back([&] {
       for (;;) {
-        bool drained = false;
-        try {
-          mgr.txBegin();
+        auto r = exec.execute(mgr, [&]() -> Outcome {
           auto order = orders.dequeue();
-          if (!order) {
-            mgr.txEnd();
-            drained = true;
-          } else {
-            const std::uint64_t id = *order >> 16;
-            const std::uint64_t item = *order & 0xffff;
-            auto stock = inventory.get(item);
-            if (!stock || *stock == 0) {
-              // Out of stock: still consume the order, but log nothing.
-              // (dequeue + get compose; the order is gone atomically)
-              inventory.put(item, 0);
-              mgr.txEnd();
-              rejected.fetch_add(1);
-            } else {
-              inventory.put(item, *stock - 1);
-              fulfilled.insert(id, item);
-              mgr.txEnd();
-              shipped.fetch_add(1);
-            }
+          if (!order) return Outcome::Drained;
+          const std::uint64_t id = *order >> 16;
+          const std::uint64_t item = *order & 0xffff;
+          auto stock = inventory.get(item);
+          if (!stock || *stock == 0) {
+            // Out of stock: still consume the order, but log nothing.
+            // (dequeue + get compose; the order is gone atomically)
+            inventory.put(item, 0);
+            return Outcome::Rejected;
           }
-        } catch (const TransactionAborted&) {
-          continue;  // conflict: retry
-        }
-        if (drained) break;
+          inventory.put(item, *stock - 1);
+          fulfilled.insert(id, item);
+          return Outcome::Shipped;
+        });
+        if (*r.value == Outcome::Drained) break;
+        (*r.value == Outcome::Shipped ? shipped : rejected).fetch_add(1);
       }
     });
   }

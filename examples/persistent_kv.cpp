@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     TxMontageHashTable kv(&mgr, &es, /*sid=*/1, /*buckets=*/256);
 
     for (std::uint64_t batch = 0; batch < 3; batch++) {
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         for (std::uint64_t i = 0; i < kBatch; i++) {
           kv.insert(batch * kBatch + i, batch * 1000 + i);
         }
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     es.sync();
     std::printf("phase 1: wrote 3 synced batches (%lu keys)\n", 3 * kBatch);
 
-    medley::run_tx(mgr, [&] {
+    medley::execute_tx(mgr, [&] {
       for (std::uint64_t i = 0; i < kBatch; i++) {
         kv.insert(900 + i, 9999);
       }
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
                 (synced == 3 * kBatch && unsynced == 0) ? "yes" : "NO");
 
     // The store keeps working after recovery.
-    medley::run_tx(mgr, [&] { kv.insert(12345, 678); });
+    medley::execute_tx(mgr, [&] { kv.insert(12345, 678); });
     es.sync();
     std::printf("post-recovery write ok: kv[12345]=%lu\n", *kv.get(12345));
 

@@ -4,14 +4,16 @@
 //   $ ./examples/quickstart
 //
 // Demonstrates: TxManager lifecycle, transactional composition of two
-// structures, explicit business-rule aborts, and the retry idiom.
+// structures, explicit business-rule aborts, and transaction execution
+// through TxExecutor (the default policy retries conflicts and stops on a
+// user abort — no hand-rolled loop, no exception plumbing).
 
 #include <cstdio>
 
 #include "core/medley.hpp"
 #include "ds/michael_hashtable.hpp"
 
-using medley::TransactionAborted;
+using medley::TxExecutor;
 using medley::TxManager;
 using Table = medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>;
 
@@ -19,31 +21,25 @@ namespace {
 
 /// Transfer `amount` from account a1 in ht1 to account a2 in ht2,
 /// atomically. Returns false if funds are insufficient.
-bool transfer(TxManager& mgr, Table& ht1, Table& ht2, std::uint64_t a1,
-              std::uint64_t a2, std::uint64_t amount) {
-  for (;;) {
-    try {
-      mgr.txBegin();
-      auto v1 = ht1.get(a1);
-      auto v2 = ht2.get(a2);
-      if (!v1 || *v1 < amount) {
-        mgr.txAbort();  // business rule: no overdraft
-      }
-      ht1.put(a1, *v1 - amount);
-      ht2.put(a2, amount + v2.value_or(0));
-      mgr.txEnd();
-      return true;
-    } catch (const TransactionAborted& e) {
-      if (e.reason() == medley::AbortReason::User) return false;
-      // Conflict with a concurrent transaction: retry.
+bool transfer(TxExecutor& exec, TxManager& mgr, Table& ht1, Table& ht2,
+              std::uint64_t a1, std::uint64_t a2, std::uint64_t amount) {
+  auto r = exec.execute(mgr, [&] {
+    auto v1 = ht1.get(a1);
+    auto v2 = ht2.get(a2);
+    if (!v1 || *v1 < amount) {
+      mgr.txAbort();  // business rule: no overdraft (terminal by policy)
     }
-  }
+    ht1.put(a1, *v1 - amount);
+    ht2.put(a2, amount + v2.value_or(0));
+  });
+  return r.committed();  // !committed => r.terminal holds the reason
 }
 
 }  // namespace
 
 int main() {
   TxManager mgr;
+  TxExecutor exec;  // customize with TxExecutor{TxPolicy{...}}
   Table checking(&mgr, 1024);
   Table savings(&mgr, 1024);
 
@@ -53,12 +49,12 @@ int main() {
   std::printf("before: checking[1]=%lu savings[2]=%lu\n",
               *checking.get(1), *savings.get(2));
 
-  if (transfer(mgr, checking, savings, 1, 2, 30)) {
+  if (transfer(exec, mgr, checking, savings, 1, 2, 30)) {
     std::printf("transferred 30: checking[1]=%lu savings[2]=%lu\n",
                 *checking.get(1), *savings.get(2));
   }
 
-  if (!transfer(mgr, checking, savings, 1, 2, 1000)) {
+  if (!transfer(exec, mgr, checking, savings, 1, 2, 1000)) {
     std::printf("transfer of 1000 correctly refused (insufficient funds)\n");
   }
 

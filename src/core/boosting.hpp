@@ -23,6 +23,7 @@
 #include <functional>
 
 #include "core/composable.hpp"
+#include "core/tx_exec.hpp"
 #include "util/align.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_registry.hpp"
@@ -39,9 +40,13 @@ class AbstractLockTable {
         locks_(new Stripe[mask_ + 1]) {}
 
   /// Try to acquire the lock for `key` on behalf of the calling thread.
-  /// Spins a bounded time; false means the caller should abort (deadlock
-  /// avoidance — the classic boosting discipline).
-  bool try_acquire(std::uint64_t key, int max_spins = 4096) {
+  /// Spins a bounded time, invoking `pace(i)` after failed poll i; false
+  /// means the caller should abort (deadlock avoidance — the classic
+  /// boosting discipline). The pacer is where contention management plugs
+  /// in: boostLock routes it through the executing TxPolicy's
+  /// ContentionManager (onLockContended).
+  template <typename Pacer>
+  bool try_acquire(std::uint64_t key, int max_spins, Pacer&& pace) {
     Stripe& s = stripe_of(key);
     const std::uint64_t me =
         static_cast<std::uint64_t>(util::ThreadRegistry::tid()) + 1;
@@ -50,14 +55,13 @@ class AbstractLockTable {
       s.depth++;
       return true;
     }
-    util::ExpBackoff backoff;
     for (int i = 0; i < max_spins; i++) {
       if (cur == 0 && s.owner.compare_exchange_weak(
                           cur, me, std::memory_order_acq_rel)) {
         s.depth = 1;
         return true;
       }
-      backoff();
+      pace(static_cast<std::uint64_t>(i));
       cur = s.owner.load(std::memory_order_acquire);
       if (cur == me) {  // acquired by an earlier op of this same tx
         s.depth++;
@@ -65,6 +69,13 @@ class AbstractLockTable {
       }
     }
     return false;
+  }
+
+  /// Default pacing: bounded exponential backoff.
+  bool try_acquire(std::uint64_t key, int max_spins = 4096) {
+    util::ExpBackoff backoff;
+    return try_acquire(key, max_spins,
+                       [&](std::uint64_t) { backoff(); });
   }
 
   /// Release one acquisition of `key` by the calling thread.
@@ -152,7 +163,19 @@ class BoostedComposable : public Composable {
       }
       return BoostGuard(&locks_, key);
     }
-    if (!locks_.try_acquire(key)) {
+    // Inside a transaction the bounded wait is contention-managed: when a
+    // TxExecutor drives this transaction, every failed poll routes through
+    // its ContentionManager (and the post-abort retry of the whole
+    // transaction is paced by the same manager — the pair of hooks that
+    // turns boosting's abort->retry storm from a livelock into backoff).
+    const bool acquired =
+        c->cm != nullptr
+            ? locks_.try_acquire(key, kTxMaxSpins,
+                                 [&](std::uint64_t spin) {
+                                   c->cm->onLockContended(*c->desc, spin);
+                                 })
+            : locks_.try_acquire(key, kTxMaxSpins);
+    if (!acquired) {
       // Bounded wait expired: deadlock avoidance says abort.
       abortTx(AbortReason::Conflict);
     }
@@ -173,6 +196,10 @@ class BoostedComposable : public Composable {
   }
 
  private:
+  /// Poll budget of the transactional bounded wait (deadlock avoidance:
+  /// a transaction never waits unboundedly on a semantic lock).
+  static constexpr int kTxMaxSpins = 4096;
+
   AbstractLockTable locks_;
 };
 #ifdef __GNUC__

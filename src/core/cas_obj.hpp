@@ -67,6 +67,11 @@ class CASObj {
           }
           continue;  // defensive in release builds
         }
+        // Priority arbitration (KarmaCM): a younger managed transaction
+        // yields to an older, still-preparing one instead of aborting it.
+        if (TxDomain::arbitration_yields(mine, other)) {
+          c->domain->abort(c, AbortReason::Conflict);
+        }
         other->try_finalize(&cell_, u);
         TxDomain::self_abort_check(c);
         continue;
@@ -91,6 +96,9 @@ class CASObj {
       if (CASCell::holds_desc(u)) {
         Desc* other = CASCell::desc_of(u);
         if (other != mine) {
+          if (TxDomain::arbitration_yields(mine, other)) {
+            c->domain->abort(c, AbortReason::Conflict);
+          }
           other->try_finalize(&cell_, u);
           TxDomain::self_abort_check(c);
           continue;

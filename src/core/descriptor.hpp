@@ -39,6 +39,22 @@ class Desc {
     return CASCell::encode_desc(const_cast<Desc*>(this));
   }
 
+  // ---- contention-management priority ---------------------------------
+  // A timestamp-priority ContentionManager (KarmaCM, tx_exec.hpp) stamps
+  // the owning thread's current transaction here: smaller = older = wins.
+  // 0 means unmanaged (eager resolution). Written by the owner's executor,
+  // read racily by transactional peers during conflict arbitration
+  // (TxDomain::arbitration_yields) — a stale read can only mis-prioritize
+  // one arbitration, never break the MCNS protocol, whose correctness
+  // does not depend on who yields.
+
+  void set_priority(std::uint64_t p) {
+    priority_.store(p, std::memory_order_relaxed);
+  }
+  std::uint64_t priority() const {
+    return priority_.load(std::memory_order_relaxed);
+  }
+
   // ---- owner-side lifecycle ------------------------------------------
 
   /// txBegin: new incarnation, empty sets (paper Fig. 5 lines 1-4).
@@ -215,6 +231,7 @@ class Desc {
   }
 
   alignas(util::kCacheLine) std::atomic<std::uint64_t> status_;
+  std::atomic<std::uint64_t> priority_{0};
   WordSet<ReadEntry, kReadCap> reads_;
   WordSet<WriteEntry, kWriteCap> writes_;
 };

@@ -6,19 +6,20 @@
 //
 //   medley::TxManager mgr;
 //   MHashTable ht1{&mgr}, ht2{&mgr};
-//   try {
-//     mgr.txBegin();
+//   medley::TxExecutor exec;  // or TxExecutor{policy} with a CM / budget
+//   auto r = exec.execute(mgr, [&] {
 //     auto v = ht1.get(a1);
-//     if (!v || *v < amount) mgr.txAbort();
+//     if (!v || *v < amount) mgr.txAbort();  // business rule: terminal
 //     ht1.put(a1, *v - amount);
 //     ht2.put(a2, amount + ht2.get(a2).value_or(0));
-//     mgr.txEnd();
-//   } catch (const medley::TransactionAborted&) { /* retry or give up */ }
+//   });
+//   if (!r.committed()) { /* r.terminal says why */ }
 
 #include "core/cas_obj.hpp"
 #include "core/composable.hpp"
 #include "core/descriptor.hpp"
 #include "core/tx_domain.hpp"
+#include "core/tx_exec.hpp"
 #include "core/tx_manager.hpp"
 
 namespace medley {
@@ -32,62 +33,27 @@ using core::TransactionAborted;
 using core::TxDomain;
 using core::TxManager;
 
-/// Outcome of one run_tx call: whether it committed, how many aborted
-/// attempts it burned (split by reason), and how many of those were
-/// retried. Aggregates with += (MedleyStore and the workload drivers sum
-/// these into their counter blocks).
-struct TxStats {
-  std::uint64_t commits = 0;  // 0 or 1 per run_tx call
-  std::uint64_t retries = 0;  // aborted attempts that were re-run
-  std::uint64_t conflict_aborts = 0;
-  std::uint64_t validation_aborts = 0;
-  std::uint64_t capacity_aborts = 0;
-  std::uint64_t user_aborts = 0;
+// TxStats, TxPolicy, TxResult<T>, TxExecutor, execute_tx and the
+// ContentionManager family (NoOpCM / ExpBackoffCM / KarmaCM) come from
+// core/tx_exec.hpp, already in namespace medley.
 
-  std::uint64_t aborts() const {
-    return conflict_aborts + validation_aborts + capacity_aborts +
-           user_aborts;
-  }
-
-  TxStats& operator+=(const TxStats& o) {
-    commits += o.commits;
-    retries += o.retries;
-    conflict_aborts += o.conflict_aborts;
-    validation_aborts += o.validation_aborts;
-    capacity_aborts += o.capacity_aborts;
-    user_aborts += o.user_aborts;
-    return *this;
-  }
-};
-
-/// Convenience retry loop: run `body` as a transaction until it commits.
-/// `body` may call mgr.txAbort() to abandon one attempt (retried only if
-/// `retry_on_user_abort`); Conflict/Validation/Capacity aborts always
-/// retry. Returns the per-call TxStats — commits (0/1), retries, and the
-/// abort breakdown by reason.
+/// DEPRECATED shim (one release): the pre-TxExecutor retry loop. Exactly
+/// equivalent to executing under a default TxPolicy (retry transient
+/// reasons unboundedly with no backoff; stop on user abort unless
+/// `retry_on_user_abort`). New code should hold a TxExecutor — it returns
+/// the full TxResult (value + terminal reason), takes a ContentionManager,
+/// and can bound attempts. Migration:
+///
+///   medley::run_tx(mgr, body)            -> medley::execute_tx(mgr, body).stats
+///   run_tx(mgr, body, /*retry_user=*/x)  -> TxPolicy p; p.retry_user = x;
+///                                           TxExecutor{p}.execute(mgr, body)
 template <typename F>
 TxStats run_tx(TxManager& mgr, F&& body, bool retry_on_user_abort = false) {
-  TxStats st;
-  for (;;) {
-    try {
-      mgr.txBegin();
-      body();
-      mgr.txEnd();
-      st.commits = 1;
-      return st;
-    } catch (const TransactionAborted& e) {
-      switch (e.reason()) {
-        case AbortReason::Conflict: st.conflict_aborts++; break;
-        case AbortReason::Validation: st.validation_aborts++; break;
-        case AbortReason::Capacity: st.capacity_aborts++; break;
-        case AbortReason::User: st.user_aborts++; break;
-      }
-      if (e.reason() == AbortReason::User && !retry_on_user_abort) {
-        return st;
-      }
-      st.retries++;
-    }
-  }
+  TxPolicy p;
+  p.retry_user = retry_on_user_abort;
+  return TxExecutor(std::move(p))
+      .execute(mgr, std::forward<F>(body))
+      .stats;
 }
 
 }  // namespace medley

@@ -46,6 +46,10 @@
 #include "util/rng.hpp"
 #include "util/thread_registry.hpp"
 
+namespace medley {
+class ContentionManager;  // tx_exec.hpp: retry pacing / priority hooks
+}
+
 namespace medley::core {
 
 class TxManager;
@@ -156,6 +160,12 @@ struct ThreadCtx {
   bool in_tx = false;
   bool spec_interval = false;
 
+  // Contention manager of the TxExecutor call currently driving this
+  // thread (null when transactions are run by hand). Set around the whole
+  // execute() call — NOT cleared by begin() — so intra-attempt hooks
+  // (boostLock's semantic-lock wait) see it on every attempt.
+  medley::ContentionManager* cm = nullptr;
+
   // Managers participating in the current transaction, root first. A
   // manager joins (once) when the first operation of a structure it owns
   // runs inside the transaction; all joined end hooks fire at finish.
@@ -224,6 +234,27 @@ class TxDomain {
   /// Optional opacity support (paper Sec. 3.1): throw now if any tracked
   /// read no longer holds, instead of waiting for commit.
   void validateReads();
+
+  /// Conflict arbitration for the eager-resolution path (CASObj nbtcLoad /
+  /// nbtcCAS meeting a foreign installed descriptor): should the calling
+  /// transaction (`mine`) abort ITSELF instead of finalizing — i.e.
+  /// aborting — the installed one (`other`)?
+  ///
+  /// True only when BOTH descriptors carry a contention-management
+  /// priority (KarmaCM timestamps: smaller = older), `other` is strictly
+  /// older, and `other` is still InPrep. An InProg peer is help-committed
+  /// by try_finalize (productive either way), and a finished one merely
+  /// needs uninstalling — yielding there would be pure loss. Unprioritized
+  /// transactions keep the paper's pure eager behavior, so mixing managed
+  /// and unmanaged call sites degrades gracefully instead of starving the
+  /// unmanaged side.
+  static bool arbitration_yields(const Desc* mine, const Desc* other) {
+    const std::uint64_t op = other->priority();
+    if (op == 0) return false;
+    const std::uint64_t mp = mine->priority();
+    if (mp == 0 || mp <= op) return false;  // unmanaged, older, or self
+    return status_word::status(other->status()) == TxStatus::InPrep;
+  }
 
   /// Is the calling thread inside a transaction of this domain?
   bool in_tx() const;

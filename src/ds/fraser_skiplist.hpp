@@ -299,8 +299,8 @@ class FraserSkiplist : public core::Composable {
           // Inside a transaction, a *pre-speculation* help just rewrote a
           // cell this transaction already registered (pred_cell is always
           // in the read set by now), so commit-time validation can no
-          // longer pass. Abort here — run_tx retries against the cleaned
-          // list — rather than complete a doomed walk. Within speculation
+          // longer pass. Abort here — the retry policy re-runs against
+          // the cleaned list — rather than complete a doomed walk. Within speculation
           // the CAS joined our write set instead and validation accepts
           // the own-descriptor overwrite: keep walking.
           if (auto* c = core::TxManager::active_ctx();

@@ -26,8 +26,9 @@
 //
 // Nesting: a store operation called while the thread is already inside a
 // transaction of the same manager flat-nests into it (its effects commit
-// or abort with the enclosing transaction). Top-level calls run their own
-// run_tx retry loop and record a TxStats into the StoreStats block; feed
+// or abort with the enclosing transaction). Top-level calls run under the
+// store's TxExecutor (policy = StoreConfig::tx_policy) and record a
+// TxStats into the StoreStats block; feed
 // push/poll accounting rides the transaction's cleanup list instead, so
 // it is exact in BOTH modes — counted once at commit (including an
 // enclosing transaction's commit), discarded with an aborted attempt.
@@ -46,10 +47,45 @@
 
 namespace medley::store {
 
+/// Hard per-transaction ceiling on change-feed pops. Every dequeue costs a
+/// descriptor write entry (the head CAS) and the merged drain also a read
+/// entry (the re-peek of that head); a drain deeper than the word sets
+/// would deterministically Capacity-abort — an abort the retry policy
+/// treats as transient and re-runs — and the poll would spin forever.
+/// Desc::kWriteCap / 2 leaves half the write set for the peeks and any
+/// enclosing transaction's own writes. "Up to max_entries" permits
+/// returning fewer; drain loops just call again.
+inline constexpr std::size_t kMaxFeedDrainPerTx = core::Desc::kWriteCap / 2;
+
+/// Store-layer contract for an executor call whose policy stopped
+/// retrying: a transient terminal abort must not be mistaken for a
+/// committed operation, so it is rethrown; a User abort stays silent
+/// (store bodies only user-abort on behalf of the caller's own business
+/// rule). Shared by BasicMedleyStore::exec and ShardedMedleyStore::transact.
+template <typename R>
+inline void rethrow_failed_non_user(const TxResult<R>& res) {
+  if (!res.committed() && res.terminal &&
+      *res.terminal != core::AbortReason::User) {
+    throw core::TransactionAborted(*res.terminal);
+  }
+}
+
 struct StoreConfig {
   std::size_t buckets = 1u << 16;  // primary hash size
   bool feed_enabled = true;        // disable to trade the feed for less
                                    // tail contention (bench ablation)
+
+  /// One poll_feed transaction's drain clamp (≤ kMaxFeedDrainPerTx, which
+  /// it defaults to; see that constant for the Capacity-abort-spin this
+  /// prevents). Lower it to bound poll latency / feed burst size.
+  std::size_t feed_drain_per_tx = kMaxFeedDrainPerTx;
+
+  /// Execution policy for the store's top-level transactions: retry rules
+  /// and the ContentionManager pacing them (tx_exec.hpp). The default —
+  /// unbounded retry of transient aborts, no backoff — reproduces the
+  /// historical run_tx behavior. A store with a bounded policy surfaces
+  /// budget exhaustion by rethrowing the terminal TransactionAborted.
+  TxPolicy tx_policy{};
 };
 
 template <typename K, typename V, typename Primary, typename Secondary>
@@ -66,6 +102,7 @@ class BasicMedleyStore : public core::Composable {
         primary_(primary),
         secondary_(secondary),
         cfg_(cfg),
+        exec_(cfg.tx_policy),
         feed_(mgr) {}
 
   // ---- point operations --------------------------------------------------
@@ -149,11 +186,12 @@ class BasicMedleyStore : public core::Composable {
   /// Atomically drain up to `max_entries` committed mutations, oldest
   /// first. Entries leave the feed exactly once (consumer groups are the
   /// caller's problem). Empty result = feed drained. One call pops at
-  /// most 512 entries (each dequeue costs a descriptor write entry;
-  /// draining past the word-set capacity in one transaction would
-  /// Capacity-abort and retry forever) — drain loops just call again.
+  /// most feed_drain_per_tx entries (see kMaxFeedDrainPerTx for the
+  /// Capacity-abort-spin the clamp prevents) — drain loops just call
+  /// again.
   std::vector<FeedItem> poll_feed(std::size_t max_entries) {
-    max_entries = std::min<std::size_t>(max_entries, 512);
+    max_entries = std::min(
+        max_entries, std::min(cfg_.feed_drain_per_tx, kMaxFeedDrainPerTx));
     std::vector<FeedItem> out;
     exec([&] {
       out.clear();
@@ -181,17 +219,24 @@ class BasicMedleyStore : public core::Composable {
 
  protected:
   /// Run `body` as this store's transaction: flat-nested into an ambient
-  /// transaction, else a fresh run_tx retry loop whose TxStats is
-  /// recorded. (Feed counters are NOT handled here — they ride the
-  /// cleanup list so they fire exactly once, at whichever transaction
-  /// actually commits the effects.)
+  /// transaction, else executed by the store's TxExecutor under the
+  /// configured TxPolicy, with the TxStats recorded. (Feed counters are
+  /// NOT handled here — they ride the cleanup list so they fire exactly
+  /// once, at whichever transaction actually commits the effects.) If a
+  /// bounded policy exhausts its budget on a transient reason, the
+  /// terminal abort is rethrown so callers never mistake a non-committed
+  /// operation for a committed one; a user abort stays silent (the
+  /// historical contract — store bodies only user-abort on behalf of the
+  /// caller's own business rule).
   template <typename Body>
   void exec(Body&& body) {
     if (mgr->in_tx()) {
       body();
       return;
     }
-    stats_.record(run_tx(*mgr, std::forward<Body>(body)));
+    auto res = exec_.execute(*mgr, std::forward<Body>(body));
+    stats_.record(res.stats);
+    rethrow_failed_non_user(res);
   }
 
   std::optional<V> put_in_tx(const K& k, const V& v) {
@@ -222,6 +267,7 @@ class BasicMedleyStore : public core::Composable {
   Primary* primary_;
   Secondary* secondary_;
   StoreConfig cfg_;
+  TxExecutor exec_;
   ds::MSQueue<FeedItem> feed_;
   StoreStats stats_;
   std::atomic<std::uint64_t> owned_feed_seq_{0};

@@ -66,7 +66,9 @@ class ShardedMedleyStore {
   using FeedItem = FeedEntry<K, V>;
 
   explicit ShardedMedleyStore(std::size_t nshards, StoreConfig cfg = {})
-      : domain_(std::make_shared<core::TxDomain>()) {
+      : domain_(std::make_shared<core::TxDomain>()),
+        cfg_(cfg),
+        cross_exec_(cfg.tx_policy) {
     if (nshards == 0) {
       throw std::invalid_argument("ShardedMedleyStore: nshards must be > 0");
     }
@@ -156,17 +158,19 @@ class ShardedMedleyStore {
   }
 
   /// Run arbitrary store operations (on this store or its shards) as one
-  /// atomic transaction; retried until commit. Returns the TxStats of the
-  /// run_tx loop.
+  /// atomic transaction under the configured TxPolicy (same executor
+  /// contract as the per-shard ops: a bounded policy that exhausts its
+  /// budget rethrows the terminal abort). Returns the executor's TxStats.
   template <typename F>
   TxStats transact(F&& body) {
     if (domain_->in_tx()) {  // flat-nest into an ambient transaction
       body();
       return {};
     }
-    TxStats st = medley::run_tx(*root_mgr(), std::forward<F>(body));
-    cross_stats_.record(st);
-    return st;
+    auto res = cross_exec_.execute(*root_mgr(), std::forward<F>(body));
+    cross_stats_.record(res.stats);
+    rethrow_failed_non_user(res);
+    return res.stats;
   }
 
   // ---- merged ordered operations -----------------------------------------
@@ -263,13 +267,14 @@ class ShardedMedleyStore {
     const std::size_t n = shards_.size();
     if (n == 1) return shards_[0].store->poll_feed(max_entries);
     // Clamp one transaction's drain below the descriptor word-set
-    // capacities: every pop costs a write entry (the dequeue CAS) and,
-    // in the merge, a read entry (the re-peek of that head). An
-    // unclamped poll_feed(10'000) over deep feeds would deterministically
-    // Capacity-abort — which run_tx retries unconditionally — and spin.
-    // "Up to max_entries" permits returning fewer; drain loops just call
-    // again.
-    max_entries = std::min(max_entries, kMaxDrainPerTx);
+    // capacities (kMaxFeedDrainPerTx, basic_store.hpp): every pop costs a
+    // write entry (the dequeue CAS) and, in the merge, a read entry (the
+    // re-peek of that head). An unclamped poll_feed(10'000) over deep
+    // feeds would deterministically Capacity-abort — which the retry
+    // policy treats as transient — and spin. "Up to max_entries" permits
+    // returning fewer; drain loops just call again.
+    max_entries = std::min(
+        max_entries, std::min(cfg_.feed_drain_per_tx, kMaxFeedDrainPerTx));
     std::vector<FeedItem> out;
     // Per-call scratch, reused across calls (sized by shard count).
     thread_local std::vector<std::optional<FeedItem>> heads;
@@ -374,10 +379,6 @@ class ShardedMedleyStore {
   /// workloads issue, without re-introducing N-fold over-fetch.
   static constexpr std::size_t kScanSlack = 8;
 
-  /// Per-transaction cap on merged feed pops (see poll_feed): well under
-  /// Desc::kWriteCap (1024) and kReadCap (4096) with room for the peeks.
-  static constexpr std::size_t kMaxDrainPerTx = 512;
-
   Shard& home(const K& k) { return *shards_[shard_of(k)].store; }
 
   /// Root manager for cross-shard transactions. Shard 0 by convention:
@@ -386,7 +387,8 @@ class ShardedMedleyStore {
   core::TxManager* root_mgr() { return shards_[0].mgr.get(); }
 
   /// One transaction spanning shards — exactly transact()'s choreography
-  /// (flat-nest or run_tx rooted at shard 0, outcome into cross_stats_).
+  /// (flat-nest, or the cross-shard executor rooted at shard 0 with the
+  /// outcome recorded into cross_stats_).
   template <typename Body>
   void cross_exec(Body&& body) {
     (void)transact(std::forward<Body>(body));
@@ -425,6 +427,8 @@ class ShardedMedleyStore {
   }
 
   std::shared_ptr<core::TxDomain> domain_;
+  StoreConfig cfg_;         // as configured (shards get the split-bucket copy)
+  TxExecutor cross_exec_;   // cross-shard transactions, same policy as shards
   std::vector<Slot> shards_;
   std::size_t shard_mask_ = 0;  // nshards-1 for power-of-2 counts, else 0
   std::atomic<std::uint64_t> feed_seq_{0};

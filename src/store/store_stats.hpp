@@ -1,7 +1,8 @@
 #pragma once
 // StoreStats: the store's per-thread counter block (the STO exemplar's
 // per-transaction perf counters, adapted to Medley's dense thread ids).
-// Every top-level store operation folds its run_tx TxStats into the
+// Every top-level store operation folds its executed-transaction TxStats
+// into the
 // calling thread's padded slot; feed pushes/polls are counted only after
 // the enclosing transaction committed, so feed_depth() is exact between
 // quiescent points (and never counts an aborted attempt).
@@ -41,7 +42,7 @@ class StoreStats {
     }
   };
 
-  /// Fold one committed-or-abandoned run_tx outcome into my slot.
+  /// Fold one committed-or-abandoned TxExecutor outcome into my slot.
   void record(const TxStats& st) {
     Slot& s = my_slot();
     add(s.commits, st.commits);

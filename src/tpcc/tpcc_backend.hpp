@@ -5,22 +5,36 @@
 //   Map& warehouse()/district()/customer()/stock()/item()/order()/
 //        neworder()/orderline()/history()       — maps u64 -> u64 with
 //                                                 get/insert/remove
-//   bool run_tx(F f)  — execute f as one transaction attempt; true iff it
-//                       committed (the caller retries on false). Systems
-//                       with internal retry (OneFile) always return true.
+//   TxStats exec_tx(F f) — execute f as ONE transaction, retried per the
+//                          backend's execution policy until it commits;
+//                          returns the attempt accounting (commits /
+//                          retries / aborts by reason). The default
+//                          policies are unbounded, so a returned TxStats
+//                          always has commits == 1.
+//
+// The four hand-rolled per-backend retry loops this file used to carry are
+// gone: both Medley-protocol backends (Medley, txMontage) share ONE
+// executor loop (MedleyTxBackendBase over medley::TxExecutor, taking a
+// TxPolicy so benches can sweep contention managers), while OneFile and
+// TDSL adapt their own STM commit protocols — which neither throw
+// TransactionAborted nor expose per-attempt hooks — to the same
+// TxStats-returning surface.
 //
 // Backend notes mirroring the paper's setup (Sec. 6.1):
 //  * Medley / txMontage: each table is its own NBTC skiplist; operations
 //    compose dynamically across all of them in one MCNS transaction.
 //  * OneFile: sequential skiplists under the STM; the whole TPC-C
-//    transaction is one updateTx lambda.
+//    transaction is one updateTx lambda (internal retry — abort counts
+//    are opaque to us, reported as zero).
 //  * TDSL: the published library scopes a transaction to its structures'
 //    shared version clock; we back all tables with ONE transactional
 //    skiplist, namespacing keys by a table tag — the standard way to run
-//    multi-table workloads on it.
+//    multi-table workloads on it. Commit failures count as conflicts.
 
 #include <functional>
+#include <utility>
 
+#include "core/medley.hpp"
 #include "ds/fraser_skiplist.hpp"
 #include "montage/txmontage.hpp"
 #include "stm/onefile.hpp"
@@ -30,30 +44,44 @@
 
 namespace medley::tpcc {
 
+// ---- shared executor loop (Medley-protocol backends) ----------------------
+
+/// The single transaction-execution loop for every backend that speaks the
+/// Medley protocol: a TxExecutor over the backend's TxManager, policy
+/// supplied at construction (default: unbounded retry of transient aborts,
+/// no backoff — the historical behavior; pass TxPolicy::with(cm) to pace
+/// retries or prioritize old transactions under contention).
+class MedleyTxBackendBase {
+ public:
+  explicit MedleyTxBackendBase(TxPolicy policy = {})
+      : exec_(std::move(policy)) {}
+
+  template <typename F>
+  TxStats exec_tx(F&& f) {
+    return exec_.execute(mgr, std::forward<F>(f)).stats;
+  }
+
+  const TxExecutor& executor() const { return exec_; }
+
+  core::TxManager mgr;
+
+ private:
+  TxExecutor exec_;
+};
+
 // ---- Medley -------------------------------------------------------------
 
-class MedleyBackend {
+class MedleyBackend : public MedleyTxBackendBase {
  public:
   using Map = ds::FraserSkiplist<std::uint64_t, std::uint64_t>;
 
-  MedleyBackend()
-      : warehouse_(&mgr), district_(&mgr), customer_(&mgr), stock_(&mgr),
+  explicit MedleyBackend(TxPolicy policy = {})
+      : MedleyTxBackendBase(std::move(policy)),
+        warehouse_(&mgr), district_(&mgr), customer_(&mgr), stock_(&mgr),
         item_(&mgr), order_(&mgr), neworder_(&mgr), orderline_(&mgr),
         history_(&mgr) {}
 
   static constexpr const char* name() { return "Medley"; }
-
-  template <typename F>
-  bool run_tx(F&& f) {
-    try {
-      mgr.txBegin();
-      f();
-      mgr.txEnd();
-      return true;
-    } catch (const core::TransactionAborted&) {
-      return false;
-    }
-  }
 
   Map& warehouse() { return warehouse_; }
   Map& district() { return district_; }
@@ -64,8 +92,6 @@ class MedleyBackend {
   Map& neworder() { return neworder_; }
   Map& orderline() { return orderline_; }
   Map& history() { return history_; }
-
-  core::TxManager mgr;
 
  private:
   Map warehouse_, district_, customer_, stock_, item_, order_, neworder_,
@@ -74,12 +100,13 @@ class MedleyBackend {
 
 // ---- txMontage ------------------------------------------------------------
 
-class TxMontageBackend {
+class TxMontageBackend : public MedleyTxBackendBase {
  public:
   using Map = montage::TxMontageSkiplist;
 
-  TxMontageBackend(montage::PRegion* region)
-      : es(region), warehouse_(&mgr, &es, 1), district_(&mgr, &es, 2),
+  explicit TxMontageBackend(montage::PRegion* region, TxPolicy policy = {})
+      : MedleyTxBackendBase(std::move(policy)),
+        es(region), warehouse_(&mgr, &es, 1), district_(&mgr, &es, 2),
         customer_(&mgr, &es, 3), stock_(&mgr, &es, 4), item_(&mgr, &es, 5),
         order_(&mgr, &es, 6), neworder_(&mgr, &es, 7),
         orderline_(&mgr, &es, 8), history_(&mgr, &es, 9) {
@@ -87,18 +114,6 @@ class TxMontageBackend {
   }
 
   static constexpr const char* name() { return "txMontage"; }
-
-  template <typename F>
-  bool run_tx(F&& f) {
-    try {
-      mgr.txBegin();
-      f();
-      mgr.txEnd();
-      return true;
-    } catch (const core::TransactionAborted&) {
-      return false;
-    }
-  }
 
   Map& warehouse() { return warehouse_; }
   Map& district() { return district_; }
@@ -110,7 +125,6 @@ class TxMontageBackend {
   Map& orderline() { return orderline_; }
   Map& history() { return history_; }
 
-  core::TxManager mgr;
   montage::EpochSys es;
 
  private:
@@ -132,9 +146,11 @@ class OneFileBackend {
   static constexpr const char* name() { return "OneFile"; }
 
   template <typename F>
-  bool run_tx(F&& f) {
-    stm.updateTx([&] { f(); });
-    return true;  // internal retry until committed
+  TxStats exec_tx(F&& f) {
+    stm.updateTx([&] { f(); });  // internal retry until committed
+    TxStats st;
+    st.commits = 1;
+    return st;
   }
 
   Map& warehouse() { return warehouse_; }
@@ -188,10 +204,20 @@ class TdslBackend {
   static constexpr const char* name() { return "TDSL"; }
 
   template <typename F>
-  bool run_tx(F&& f) {
-    shared_.txBegin();
-    f();
-    return shared_.txCommit();
+  TxStats exec_tx(F&& f) {
+    TxStats st;
+    for (;;) {
+      shared_.txBegin();
+      f();
+      if (shared_.txCommit()) {
+        st.commits = 1;
+        return st;
+      }
+      // TDSL reports only commit failure; its version-clock validation is
+      // closest to a conflict in Medley's taxonomy.
+      st.conflict_aborts++;
+      st.retries++;
+    }
   }
 
   Map& warehouse() { return warehouse_; }

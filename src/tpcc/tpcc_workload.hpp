@@ -8,10 +8,16 @@
 // Row updates are expressed as remove+insert of the packed row — i.e.
 // every update is a composition of two structure operations, executed
 // atomically by whichever transactional system backs the tables.
+//
+// Transactions run through the backend's exec_tx (a TxExecutor for the
+// Medley-protocol backends), which retries per the backend's policy until
+// commit; newOrder/payment return the executor's TxStats so drivers can
+// report aborts by reason without owning a retry loop.
 
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/tx_exec.hpp"
 #include "tpcc/tpcc_gen.hpp"
 #include "tpcc/tpcc_types.hpp"
 
@@ -27,23 +33,23 @@ class Workload {
   void load() {
     util::Xoshiro256 rng(0xdecafbad);
     for (std::uint64_t w = 0; w < scale_.warehouses; w++) {
-      run_until_committed([&] {
+      b_.exec_tx([&] {
         b_.warehouse().insert(wh_key(w), WarehouseRow{0}.pack());
       });
       for (std::uint64_t d = 0; d < scale_.districts_per_wh; d++) {
-        run_until_committed([&] {
+        b_.exec_tx([&] {
           b_.district().insert(district_key(w, d),
                                DistrictRow{1, 0}.pack());
         });
         for (std::uint64_t c = 0; c < scale_.customers_per_district; c++) {
-          run_until_committed([&] {
+          b_.exec_tx([&] {
             b_.customer().insert(customer_key(w, d, c),
                                  CustomerRow{0, 0}.pack());
           });
         }
       }
       for (std::uint64_t i = 0; i < scale_.items; i++) {
-        run_until_committed([&] {
+        b_.exec_tx([&] {
           b_.stock().insert(stock_key(w, i),
                             StockRow{static_cast<std::uint32_t>(
                                          10 + rng.next_bounded(91)),
@@ -53,16 +59,16 @@ class Workload {
       }
     }
     for (std::uint64_t i = 0; i < scale_.items; i++) {
-      run_until_committed([&] {
+      b_.exec_tx([&] {
         b_.item().insert(item_key(i),
                          ItemRow{100 + rng.next_bounded(9900)}.pack());
       });
     }
   }
 
-  /// One newOrder attempt; false means the transaction aborted (caller
-  /// decides whether to retry — the benchmark counts aborts).
-  bool new_order(Generator& gen) {
+  /// One committed newOrder transaction (parameters drawn once, attempts
+  /// retried by the backend's executor); returns the attempt accounting.
+  TxStats new_order(Generator& gen) {
     const std::uint64_t w = gen.warehouse();
     const std::uint64_t d = gen.district();
     const std::uint64_t c = gen.customer();
@@ -80,7 +86,7 @@ class Workload {
       supply[l] = gen.supply_warehouse(w);
     }
 
-    return b_.run_tx([&] {
+    return b_.exec_tx([&] {
       const std::uint64_t dkey = district_key(w, d);
       auto drow = DistrictRow::unpack(must(b_.district().get(dkey)));
       const std::uint64_t o_id = drow.next_o_id;
@@ -118,15 +124,16 @@ class Workload {
     });
   }
 
-  /// One payment attempt.
-  bool payment(Generator& gen, std::uint64_t tid, std::uint64_t& hseq) {
+  /// One committed payment transaction; bumps `hseq` (the per-driver
+  /// history sequence) exactly once. Returns the attempt accounting.
+  TxStats payment(Generator& gen, std::uint64_t tid, std::uint64_t& hseq) {
     const std::uint64_t w = gen.warehouse();
     const std::uint64_t d = gen.district();
     const std::uint64_t c = gen.customer();
     const std::uint64_t amount = gen.h_amount();
     const std::uint64_t seq = hseq;
 
-    const bool committed = b_.run_tx([&] {
+    TxStats st = b_.exec_tx([&] {
       const std::uint64_t wkey = wh_key(w);
       auto wrow = WarehouseRow::unpack(must(b_.warehouse().get(wkey)));
       wrow.ytd += amount;
@@ -145,8 +152,8 @@ class Workload {
 
       b_.history().insert(history_key(w, d, tid, seq), amount);
     });
-    if (committed) hseq++;
-    return committed;
+    if (st.commits != 0) hseq++;
+    return st;
   }
 
   // ---- consistency audits (tests; quiescent) ---------------------------
@@ -200,12 +207,6 @@ class Workload {
   }
 
  private:
-  template <typename F>
-  void run_until_committed(F&& f) {
-    while (!b_.run_tx(f)) {
-    }
-  }
-
   template <typename M>
   static void update(M& m, std::uint64_t k, std::uint64_t v) {
     m.remove(k);

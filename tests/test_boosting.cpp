@@ -1,18 +1,19 @@
 // Transactional boosting (paper Sec. 3.1): semantic locks, inverse-based
 // rollback, composition of a boosted lock-based map with NBTC structures
-// in one Medley transaction, and deadlock avoidance via bounded lock
-// acquisition.
+// in one Medley transaction, deadlock avoidance via bounded lock
+// acquisition, and contention management of the abort->retry loop (the
+// policy layer that turns boosting's historical livelock into backoff).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "core/boosting.hpp"
 #include "ds/boosted_map.hpp"
 #include "ds/michael_hashtable.hpp"
 #include "test_support.hpp"
-#include "util/backoff.hpp"
 #include "util/rng.hpp"
 
 using medley::TransactionAborted;
@@ -178,8 +179,16 @@ TEST(Boosting, DisjointKeysDoNotConflict) {
 }
 
 TEST(Boosting, TransfersConserveUnderContention) {
+  // Boosting's bounded-wait locks give deadlock avoidance, not livelock
+  // freedom: before the execution-policy layer, this test needed a
+  // hand-rolled test-side backoff to terminate under TSAN on one core.
+  // Now the policy's ContentionManager paces BOTH the semantic-lock wait
+  // (boostLock -> onLockContended) and the post-abort retry (onAbort) —
+  // the real fix, exercised here with no workaround.
   TxManager mgr;
   BMap m(&mgr);
+  medley::TxExecutor exec{
+      medley::TxPolicy::with(std::make_shared<medley::ExpBackoffCM>())};
   constexpr std::uint64_t kAccounts = 8, kInitial = 1000;
   for (std::uint64_t a = 0; a < kAccounts; a++) m.insert(a, kInitial);
   medley::test::run_threads(4, [&](int t) {
@@ -188,31 +197,53 @@ TEST(Boosting, TransfersConserveUnderContention) {
       auto from = rng.next_bounded(kAccounts);
       auto to = rng.next_bounded(kAccounts);
       if (from == to) continue;
-      // Back off between Conflict retries: boosting's bounded-wait locks
-      // give deadlock avoidance, not livelock freedom, and an immediate
-      // abort->retry storm can spin for minutes when every thread runs in
-      // slow motion (TSAN on an oversubscribed single core).
-      medley::util::ExpBackoff backoff;
-      for (;;) {
-        try {
-          mgr.txBegin();
-          auto vf = m.get(from);
-          auto vt = m.get(to);
-          if (*vf == 0) {
-            mgr.txAbort();
-          }
-          m.put(from, *vf - 1);
-          m.put(to, *vt + 1);
-          mgr.txEnd();
-          break;
-        } catch (const TransactionAborted& e) {
-          if (e.reason() == medley::AbortReason::User) break;
-          backoff();
+      exec.execute(mgr, [&] {
+        auto vf = m.get(from);
+        auto vt = m.get(to);
+        if (*vf == 0) {
+          mgr.txAbort();  // broke: terminal under the default policy
         }
-      }
+        m.put(from, *vf - 1);
+        m.put(to, *vt + 1);
+      });
     }
   });
   std::uint64_t total = 0;
   for (std::uint64_t a = 0; a < kAccounts; a++) total += *m.get(a);
   EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+namespace {
+/// Counts boostLock's semantic-lock wait polls routed through the policy.
+struct LockWaitProbeCM final : medley::ContentionManager {
+  std::atomic<std::uint64_t> lock_waits{0};
+  const char* name() const override { return "LockWaitProbe"; }
+  void onLockContended(medley::Desc&, std::uint64_t) override {
+    lock_waits.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+}  // namespace
+
+TEST(Boosting, LockWaitRoutedThroughContentionManager) {
+  // t0 holds key 1's semantic lock inside an open transaction; a second
+  // thread's executor-driven transaction must spin through the POLICY's
+  // onLockContended hook (not a private backoff) before aborting.
+  TxManager mgr;
+  BMap m(&mgr);
+  m.insert(1, 10);
+  mgr.txBegin();
+  m.put(1, 11);  // holds the semantic lock for key 1 until commit
+  auto probe = std::make_shared<LockWaitProbeCM>();
+  std::optional<medley::AbortReason> terminal;
+  std::thread([&] {
+    medley::TxExecutor exec{medley::TxPolicy::bounded(1, probe)};
+    auto r = exec.execute(mgr, [&] { m.put(1, 12); });
+    EXPECT_FALSE(r.committed());
+    terminal = r.terminal;
+  }).join();
+  ASSERT_TRUE(terminal.has_value());
+  EXPECT_EQ(*terminal, medley::AbortReason::Conflict);
+  EXPECT_GT(probe->lock_waits.load(), 0u);
+  mgr.txEnd();
+  EXPECT_EQ(m.get(1), std::optional<std::uint64_t>(11));
 }

@@ -1,0 +1,355 @@
+// TxExecutor / TxPolicy / ContentionManager (core/tx_exec.hpp): attempt
+// budgets, per-reason retry rules, deterministic CM hook ordering, KarmaCM
+// priority arbitration pinned with the schedule driver, TxResult<T> value
+// plumbing, and the run_tx compatibility shim.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/medley.hpp"
+#include "test_support.hpp"
+
+using medley::AbortReason;
+using medley::CASObj;
+using medley::ContentionManager;
+using medley::ExpBackoffCM;
+using medley::KarmaCM;
+using medley::NoOpCM;
+using medley::TransactionAborted;
+using medley::TxExecutor;
+using medley::TxManager;
+using medley::TxPolicy;
+using medley::test::Harness;
+using U64Obj = CASObj<std::uint64_t>;
+
+namespace h = medley::test::harness;
+
+namespace {
+
+/// Records every hook invocation in order — the "deterministic fake CM".
+struct FakeCM : ContentionManager {
+  std::vector<std::string> log;
+  std::atomic<std::uint64_t> lock_waits{0};
+
+  const char* name() const override { return "Fake"; }
+  void onAttemptStart(medley::Desc&, std::uint64_t attempt) override {
+    log.push_back("start:" + std::to_string(attempt));
+  }
+  void onAbort(medley::Desc&, AbortReason r, std::uint64_t attempt) override {
+    const char* reason = r == AbortReason::Conflict     ? "conflict"
+                         : r == AbortReason::Validation ? "validation"
+                         : r == AbortReason::Capacity   ? "capacity"
+                                                        : "user";
+    log.push_back(std::string("abort:") + reason + ":" +
+                  std::to_string(attempt));
+  }
+  void onFinish(medley::Desc&, bool committed) override {
+    log.push_back(committed ? "finish:commit" : "finish:giveup");
+  }
+  void onLockContended(medley::Desc&, std::uint64_t) override {
+    lock_waits.fetch_add(1);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Attempt budgets and per-reason retry rules.
+
+TEST(TxExecutor, MaxAttemptsExhaustionReturnsResultWithoutThrowing) {
+  TxManager mgr;
+  TxExecutor exec{TxPolicy::bounded(3)};
+  int attempts = 0;
+  medley::TxResult<void> r;
+  // Capacity is transient (retried by default) — only the budget stops it.
+  ASSERT_NO_THROW(r = exec.execute(mgr, [&] {
+    attempts++;
+    mgr.txAbortCapacity();
+  }));
+  EXPECT_EQ(attempts, 3);
+  EXPECT_FALSE(r.committed());
+  EXPECT_FALSE(static_cast<bool>(r));
+  ASSERT_TRUE(r.terminal.has_value());
+  EXPECT_EQ(*r.terminal, AbortReason::Capacity);
+  EXPECT_EQ(r.stats.commits, 0u);
+  EXPECT_EQ(r.stats.capacity_aborts, 3u);
+  EXPECT_EQ(r.stats.retries, 2u);  // third attempt was terminal, not retried
+  EXPECT_FALSE(mgr.in_tx());       // the thread is reusable
+  EXPECT_EQ(exec.execute(mgr, [] {}).stats.commits, 1u);
+}
+
+TEST(TxExecutor, PerReasonRuleStopsCapacityWhenDisabled) {
+  TxManager mgr;
+  TxPolicy p;
+  p.retry_capacity = false;
+  TxExecutor exec{p};
+  int attempts = 0;
+  auto r = exec.execute(mgr, [&] {
+    attempts++;
+    mgr.txAbortCapacity();
+  });
+  EXPECT_EQ(attempts, 1);  // first capacity abort is terminal under this policy
+  EXPECT_FALSE(r.committed());
+  EXPECT_EQ(*r.terminal, AbortReason::Capacity);
+  EXPECT_EQ(r.stats.retries, 0u);
+}
+
+TEST(TxExecutor, PerReasonRuleRetriesUserWhenEnabled) {
+  TxManager mgr;
+  TxPolicy p;
+  p.retry_user = true;
+  TxExecutor exec{p};
+  int attempts = 0;
+  auto r = exec.execute(mgr, [&] {
+    if (++attempts < 4) mgr.txAbort();
+  });
+  EXPECT_EQ(attempts, 4);
+  EXPECT_TRUE(r.committed());
+  EXPECT_EQ(r.stats.user_aborts, 3u);
+  EXPECT_EQ(r.stats.retries, 3u);
+  EXPECT_FALSE(r.terminal.has_value());
+}
+
+TEST(TxExecutor, UserAbortTerminalByDefault) {
+  TxManager mgr;
+  TxExecutor exec;
+  int attempts = 0;
+  auto r = exec.execute(mgr, [&] {
+    attempts++;
+    mgr.txAbort();
+  });
+  EXPECT_EQ(attempts, 1);
+  EXPECT_FALSE(r.committed());
+  EXPECT_EQ(*r.terminal, AbortReason::User);
+}
+
+// ---------------------------------------------------------------------
+// Contention-manager hook ordering.
+
+TEST(TxExecutor, FakeCmSeesDeterministicHookOrdering) {
+  TxManager mgr;
+  auto cm = std::make_shared<FakeCM>();
+  TxExecutor exec{TxPolicy::with(cm)};
+  int attempts = 0;
+  auto r = exec.execute(mgr, [&] {
+    if (++attempts < 3) mgr.txAbortCapacity();
+  });
+  EXPECT_TRUE(r.committed());
+  const std::vector<std::string> expected = {
+      "start:0", "abort:capacity:0", "start:1", "abort:capacity:1",
+      "start:2", "finish:commit"};
+  EXPECT_EQ(cm->log, expected);
+
+  // Give-up path: onAbort of the terminal attempt still fires, then the
+  // single finish:giveup.
+  cm->log.clear();
+  TxExecutor bounded{TxPolicy::bounded(2, cm)};
+  bounded.execute(mgr, [&] { mgr.txAbortCapacity(); });
+  const std::vector<std::string> expected2 = {
+      "start:0", "abort:capacity:0", "start:1", "abort:capacity:1",
+      "finish:giveup"};
+  EXPECT_EQ(cm->log, expected2);
+}
+
+TEST(TxExecutor, ForeignExceptionClosesTransactionAndNotifiesCm) {
+  TxManager mgr;
+  auto cm = std::make_shared<FakeCM>();
+  TxExecutor exec{TxPolicy::with(cm)};
+  U64Obj a(1);
+  EXPECT_THROW(exec.execute(mgr, [&] {
+    auto v = a.nbtcLoad();
+    a.nbtcCAS(v, v + 1, true, true);
+    throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  EXPECT_FALSE(mgr.in_tx());
+  EXPECT_EQ(a.load(), 1u);  // speculative write rolled back
+  ASSERT_FALSE(cm->log.empty());
+  EXPECT_EQ(cm->log.back(), "finish:giveup");
+  // The thread (and executor) remain usable.
+  EXPECT_EQ(exec.execute(mgr, [] {}).stats.commits, 1u);
+}
+
+// ---------------------------------------------------------------------
+// KarmaCM: the older transaction survives a pinned conflict.
+
+TEST(TxExecutor, KarmaOlderTransactionWinsPinnedConflict) {
+  TxManager mgr;
+  auto karma = std::make_shared<KarmaCM>();
+  U64Obj a(5);
+  std::optional<AbortReason> young_terminal;
+
+  h::ScheduleDriver d;
+  // t0, the OLDER transaction: begins first (smaller Karma timestamp) and
+  // installs its descriptor on `a`, then commits in its second step.
+  d.add_thread({
+      [&] {
+        mgr.txBegin();
+        karma->onAttemptStart(*mgr.my_desc(), 0);  // stamp: oldest
+        auto v = a.nbtcLoad();
+        EXPECT_TRUE(a.nbtcCAS(v, v + 1, true, true));  // descriptor installed
+      },
+      [&] { mgr.txEnd(); },  // must succeed: the young tx yielded
+  });
+  // t1, the YOUNGER transaction: a full executor run under the same Karma
+  // instance. Its single attempt meets t0's InPrep descriptor and must
+  // abort ITSELF (Conflict) instead of finalizing-as-aborted t0.
+  d.add_thread({
+      [&] {
+        TxExecutor exec{TxPolicy::bounded(1, karma)};
+        auto r = exec.execute(mgr, [&] {
+          auto v = a.nbtcLoad();
+          a.nbtcCAS(v, v + 100, true, true);
+        });
+        EXPECT_FALSE(r.committed());
+        young_terminal = r.terminal;
+      },
+  });
+  d.run({0, 1, 0});
+
+  ASSERT_TRUE(young_terminal.has_value());
+  EXPECT_EQ(*young_terminal, AbortReason::Conflict);
+  EXPECT_EQ(a.load(), 6u) << "the older transaction's write must survive";
+  auto st = mgr.stats();
+  EXPECT_EQ(st.commits, 1u);
+  EXPECT_EQ(st.conflict_aborts, 1u);
+}
+
+TEST(TxExecutor, EagerDefaultYoungerAbortsOlderInSameSchedule) {
+  // Control for the Karma test: with no priorities (default policy), the
+  // exact same interleaving resolves the other way — the second
+  // transaction finalizes the first one's InPrep descriptor as Aborted.
+  TxManager mgr;
+  U64Obj a(5);
+  std::optional<AbortReason> old_terminal;
+
+  h::ScheduleDriver d;
+  d.add_thread({
+      [&] {
+        mgr.txBegin();
+        auto v = a.nbtcLoad();
+        EXPECT_TRUE(a.nbtcCAS(v, v + 1, true, true));
+      },
+      [&] {
+        try {
+          mgr.txEnd();
+        } catch (const TransactionAborted& e) {
+          old_terminal = e.reason();
+        }
+      },
+  });
+  d.add_thread({
+      [&] {
+        TxExecutor exec;  // eager: aborts the installed transaction
+        auto r = exec.execute(mgr, [&] {
+          auto v = a.nbtcLoad();
+          EXPECT_TRUE(a.nbtcCAS(v, v + 100, true, true));
+        });
+        EXPECT_TRUE(r.committed());
+      },
+  });
+  d.run({0, 1, 0});
+
+  ASSERT_TRUE(old_terminal.has_value());
+  EXPECT_EQ(*old_terminal, AbortReason::Conflict);
+  EXPECT_EQ(a.load(), 105u) << "the second transaction's write wins";
+}
+
+TEST(TxExecutor, KarmaClockMonotoneAndClearedOnFinish) {
+  TxManager mgr;
+  auto karma = std::make_shared<KarmaCM>();
+  TxExecutor exec{TxPolicy::with(karma)};
+  std::uint64_t p1 = 0, p2 = 0;
+  exec.execute(mgr, [&] { p1 = mgr.my_desc()->priority(); });
+  exec.execute(mgr, [&] { p2 = mgr.my_desc()->priority(); });
+  EXPECT_NE(p1, 0u);
+  EXPECT_LT(p1, p2) << "later transactions are younger (larger stamp)";
+  EXPECT_EQ(mgr.my_desc()->priority(), 0u);
+
+  // A retry KEEPS its stamp (age accumulates) rather than redrawing.
+  std::vector<std::uint64_t> seen;
+  int attempts = 0;
+  exec.execute(mgr, [&] {
+    seen.push_back(mgr.my_desc()->priority());
+    if (++attempts < 3) mgr.txAbortCapacity();
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[1], seen[2]);
+}
+
+// ---------------------------------------------------------------------
+// TxResult<T> value plumbing.
+
+TEST(TxExecutor, ValuePlumbingOnCommitAndGiveUp) {
+  TxManager mgr;
+  TxExecutor exec;
+  U64Obj a(7);
+
+  auto r = exec.execute(mgr, [&]() -> std::uint64_t { return a.nbtcLoad(); });
+  EXPECT_TRUE(r.committed());
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 7u);
+
+  // Non-committed call: the value computed by the failed attempt must NOT
+  // leak out.
+  TxExecutor bounded{TxPolicy::bounded(2)};
+  auto r2 = bounded.execute(mgr, [&]() -> std::uint64_t {
+    mgr.txAbortCapacity();
+  });
+  EXPECT_FALSE(r2.committed());
+  EXPECT_FALSE(r2.value.has_value());
+  EXPECT_EQ(*r2.terminal, AbortReason::Capacity);
+
+  // A value assigned on an aborted attempt is replaced by the committed
+  // attempt's value.
+  int attempts = 0;
+  auto r3 = exec.execute(mgr, [&]() -> int {
+    if (++attempts < 2) mgr.txAbortCapacity();
+    return attempts;
+  });
+  EXPECT_TRUE(r3.committed());
+  EXPECT_EQ(*r3.value, 2);
+}
+
+TEST(TxExecutor, ExecuteTxFreeFunctionAndRunTxShim) {
+  TxManager mgr;
+  U64Obj a(0);
+  auto r = medley::execute_tx(mgr, [&] {
+    auto v = a.nbtcLoad();
+    EXPECT_TRUE(a.nbtcCAS(v, v + 1, true, true));
+  });
+  EXPECT_TRUE(r.committed());
+  EXPECT_EQ(a.load(), 1u);
+
+  // The deprecated shim preserves the historical TxStats contract.
+  auto st = medley::run_tx(mgr, [&] { mgr.txAbort(); });
+  EXPECT_EQ(st.commits, 0u);
+  EXPECT_EQ(st.user_aborts, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Executor against real structure traffic under contention (smoke).
+
+TEST(TxExecutor, SharedExecutorCountsExactlyUnderContention) {
+  TxManager mgr;
+  U64Obj counter(0);
+  auto cm = std::make_shared<ExpBackoffCM>();
+  TxExecutor exec{TxPolicy::with(cm)};  // shared by all threads
+  constexpr int kThreads = 4, kIncr = 200;
+  medley::test::run_threads(kThreads, [&](int) {
+    for (int i = 0; i < kIncr; i++) {
+      auto r = exec.execute(mgr, [&] {
+        auto v = counter.nbtcLoad();
+        if (!counter.nbtcCAS(v, v + 1, true, true)) mgr.txAbortCapacity();
+      });
+      EXPECT_TRUE(r.committed());
+    }
+  });
+  EXPECT_EQ(counter.load(), static_cast<std::uint64_t>(kThreads * kIncr));
+}
