@@ -26,7 +26,17 @@
 //                         (shards:1 prices the sharded dispatch itself).
 //                         Rows carry per-shard + aggregate abort/retry
 //                         counters (aborts_shard<i> etc., absolute since
-//                         setup) next to the per-thread exact rates.
+//                         setup) next to the per-thread exact rates;
+//   RangeShardedMedleyStore-{4,8} — contiguous key-range shards
+//                         (boundaries seeded by sampling the preloaded
+//                         keys): scans descend only into the shards their
+//                         window intersects, so E is the headline and A-D
+//                         confirm point ops don't regress vs the hash
+//                         store. Rows additionally carry keys_shard<i>
+//                         (commit-exact per-shard key counts), making the
+//                         insert-tail skew of workloads D/E — fresh keys
+//                         all land in the LAST range shard — observable
+//                         in the recorded JSON (BENCH_ycsb_range.json).
 //
 // Output is google-benchmark JSON in the same shape as the figure benches:
 // items_per_second = committed store operations/s; aborts_per_tx and
@@ -205,6 +215,33 @@ struct MedleyStoreAdapter {
   ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
 };
 
+/// Per-shard + aggregate counters for the JSON row (absolute totals since
+/// setup; the per-thread exact rates stay in aborts_per_tx). Shared by the
+/// hash- and range-sharded adapters; keys_shard<i> is the commit-exact
+/// per-shard key count — the partition-imbalance observable.
+template <typename ShardedStore>
+void emit_shard_counters(benchmark::State& state, const ShardedStore& store,
+                         int nshards) {
+  double agg_aborts = 0, agg_retries = 0;
+  for (int i = 0; i < nshards; i++) {
+    const auto st = store.stats_shard(static_cast<std::size_t>(i));
+    state.counters["aborts_shard" + std::to_string(i)] =
+        static_cast<double>(st.aborts());
+    state.counters["retries_shard" + std::to_string(i)] =
+        static_cast<double>(st.retries);
+    state.counters["keys_shard" + std::to_string(i)] =
+        static_cast<double>(st.key_count());
+    agg_aborts += static_cast<double>(st.aborts());
+    agg_retries += static_cast<double>(st.retries);
+  }
+  const auto cross = store.stats_cross();
+  state.counters["aborts_cross"] = static_cast<double>(cross.aborts());
+  state.counters["aborts_agg"] =
+      agg_aborts + static_cast<double>(cross.aborts());
+  state.counters["retries_agg"] =
+      agg_retries + static_cast<double>(cross.retries);
+}
+
 template <int kShards>
 struct ShardedStoreAdapter {
   static const char* name() {
@@ -234,25 +271,50 @@ struct ShardedStoreAdapter {
 
   ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
 
-  /// Per-shard + aggregate counters for the JSON row (absolute totals
-  /// since setup; the per-thread exact rates stay in aborts_per_tx).
   void emit_counters(benchmark::State& state) const {
-    double agg_aborts = 0, agg_retries = 0;
-    for (int i = 0; i < kShards; i++) {
-      const auto st = store->stats_shard(static_cast<std::size_t>(i));
-      state.counters["aborts_shard" + std::to_string(i)] =
-          static_cast<double>(st.aborts());
-      state.counters["retries_shard" + std::to_string(i)] =
-          static_cast<double>(st.retries);
-      agg_aborts += static_cast<double>(st.aborts());
-      agg_retries += static_cast<double>(st.retries);
+    emit_shard_counters(state, *store, kShards);
+  }
+};
+
+template <int kShards>
+struct RangeShardedStoreAdapter {
+  static const char* name() {
+    if constexpr (kShards == 4) return "RangeShardedMedleyStore-4";
+    return "RangeShardedMedleyStore-8";
+  }
+  static constexpr std::uint64_t kInsertWrap = 0;  // DRAM: unbounded
+
+  using RangeSharded =
+      ms::RangeShardedMedleyStore<std::uint64_t, std::uint64_t>;
+  std::unique_ptr<RangeSharded> store;
+  std::atomic<std::uint64_t> next_insert{0}, max_key{0};
+
+  void setup(const YcsbScale& sc) {
+    // Seeding-time splitter: boundaries from a ~4K-key sample of the
+    // preloaded key set (equi-depth quantiles). Fresh inserts (D/E) land
+    // past sc.records — i.e. in the LAST shard, range partitioning's
+    // classic insert-tail hotspot; keys_shard<i> in the row records it.
+    std::vector<std::uint64_t> seed;
+    const std::uint64_t step = std::max<std::uint64_t>(sc.records / 4096, 1);
+    for (std::uint64_t k = 1; k <= sc.records; k += step) seed.push_back(k);
+    store = std::make_unique<RangeSharded>(
+        kShards, seed,
+        ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/true});
+    for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
+    while (!store->poll_feed(1024).empty()) {  // preload is not traffic
     }
-    const auto cross = store->stats_cross();
-    state.counters["aborts_cross"] = static_cast<double>(cross.aborts());
-    state.counters["aborts_agg"] =
-        agg_aborts + static_cast<double>(cross.aborts());
-    state.counters["retries_agg"] =
-        agg_retries + static_cast<double>(cross.retries);
+    next_insert.store(sc.records + 1);
+    max_key.store(sc.records);
+  }
+
+  void op(medley::util::Xoshiro256& rng, KeyDist& keys, const Mix& mix) {
+    ycsb_op(*store, /*feed_on=*/true, rng, keys, mix);
+  }
+
+  ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
+
+  void emit_counters(benchmark::State& state) const {
+    emit_shard_counters(state, *store, kShards);
   }
 };
 
@@ -365,6 +427,8 @@ int main(int argc, char** argv) {
   register_ycsb<ShardedStoreAdapter<1>>();
   register_ycsb<ShardedStoreAdapter<4>>();
   register_ycsb<ShardedStoreAdapter<8>>();
+  register_ycsb<RangeShardedStoreAdapter<4>>();
+  register_ycsb<RangeShardedStoreAdapter<8>>();
   register_ycsb<PersistentStoreAdapter>();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

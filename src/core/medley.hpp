@@ -36,24 +36,13 @@ using core::TxManager;
 // TxStats, TxPolicy, TxResult<T>, TxExecutor, execute_tx and the
 // ContentionManager family (NoOpCM / ExpBackoffCM / KarmaCM) come from
 // core/tx_exec.hpp, already in namespace medley.
-
-/// DEPRECATED shim (one release): the pre-TxExecutor retry loop. Exactly
-/// equivalent to executing under a default TxPolicy (retry transient
-/// reasons unboundedly with no backoff; stop on user abort unless
-/// `retry_on_user_abort`). New code should hold a TxExecutor — it returns
-/// the full TxResult (value + terminal reason), takes a ContentionManager,
-/// and can bound attempts. Migration:
-///
-///   medley::run_tx(mgr, body)            -> medley::execute_tx(mgr, body).stats
-///   run_tx(mgr, body, /*retry_user=*/x)  -> TxPolicy p; p.retry_user = x;
-///                                           TxExecutor{p}.execute(mgr, body)
-template <typename F>
-TxStats run_tx(TxManager& mgr, F&& body, bool retry_on_user_abort = false) {
-  TxPolicy p;
-  p.retry_user = retry_on_user_abort;
-  return TxExecutor(std::move(p))
-      .execute(mgr, std::forward<F>(body))
-      .stats;
-}
+//
+// The pre-TxExecutor `run_tx` retry loop, kept as a deprecated shim for
+// one release after the executor landed, is REMOVED. Migration (also in
+// README "Migration note"):
+//
+//   run_tx(mgr, body)                    -> execute_tx(mgr, body).stats
+//   run_tx(mgr, body, /*retry_user=*/x)  -> TxPolicy p; p.retry_user = x;
+//                                           execute_tx(mgr, body, p).stats
 
 }  // namespace medley

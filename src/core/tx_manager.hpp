@@ -91,7 +91,7 @@ class TxManager {
   /// Abort because a resource ran out mid-transaction (e.g. the Montage
   /// persistent region is exhausted until the next epoch advance frees
   /// retired payloads). Unlike txAbort, the reason is Capacity, which
-  /// run_tx treats as transient and retries.
+  /// the default TxPolicy treats as transient and retries (tx_exec.hpp).
   [[noreturn]] void txAbortCapacity() { abort_active(AbortReason::Capacity); }
 
   /// Optional opacity support (paper Sec. 3.1): throw now if any tracked

@@ -244,6 +244,11 @@ class BasicMedleyStore : public core::Composable {
     if (old) secondary_->remove(k);
     secondary_->insert(k, v);
     feed_append(FeedItem{FeedOp::Put, k, v});
+    // Key-count accounting rides the cleanup list like the feed counters:
+    // counted once iff the mutation actually commits, so key_count() is
+    // the exact live-key total between quiescent points (the sharded
+    // stores' partition-imbalance observable).
+    if (!old) addToCleanups([this] { stats_.note_key_insert(1); });
     return old;
   }
 
@@ -252,6 +257,7 @@ class BasicMedleyStore : public core::Composable {
     if (!old) return std::nullopt;  // read-only outcome, still validated
     secondary_->remove(k);
     feed_append(FeedItem{FeedOp::Del, k, V{}});
+    addToCleanups([this] { stats_.note_key_remove(1); });
     return old;
   }
 

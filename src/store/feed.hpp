@@ -6,6 +6,13 @@
 // feed and replaying it over an empty map reproduces the primary index
 // exactly (tests/test_store.cpp checks this). A transaction that aborts
 // enqueues nothing — the feed never shows phantom mutations.
+//
+// Consumers drain with poll_feed(max_entries), which returns "up to"
+// max_entries: one transaction's drain is clamped to
+// StoreConfig::feed_drain_per_tx, itself capped by the descriptor-derived
+// kMaxFeedDrainPerTx (basic_store.hpp explains the Capacity-abort spin an
+// unclamped deep drain would cause). Drain loops simply call again until
+// empty.
 
 #include <cstdint>
 #include <map>

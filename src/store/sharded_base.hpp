@@ -1,0 +1,340 @@
+#pragma once
+// ShardedStoreBase: the partitioning-agnostic machinery shared by every
+// sharded MedleyStore — N full shards (each a MedleyStore with its own
+// TxManager, hash primary, skiplist secondary, and change feed) under ONE
+// TxDomain, so the single-shard fast path never touches another shard's
+// metadata while cross-shard operations stay one atomic transaction (one
+// thread descriptor, one commit-point status CAS; see tx_domain.hpp — the
+// MCNS protocol never cared which manager a cell belonged to).
+//
+// What lives here is everything that does not depend on HOW keys map to
+// shards:
+//
+//   point ops            — route to the owning shard's fast path via the
+//                          derived class's shard_of(k);
+//   multi_put / read_modify_write_many / transact
+//                        — group by shard; single-shard batches delegate,
+//                          anything else runs as one domain transaction
+//                          flat-nesting each shard store's ops;
+//   poll_feed            — one transaction k-way-merges the shard feeds by
+//                          the shared sequence stamp (peek every
+//                          non-exhausted head, dequeue the smallest);
+//                          per-shard FIFO — the exact per-key serialization
+//                          order — is never reordered (feed.hpp);
+//   stats                — aggregate = sum(shards) + the cross-shard block,
+//                          including the commit-exact per-shard key counts
+//                          (store_stats.hpp) that make partition imbalance
+//                          observable.
+//
+// What the derived class provides is the partitioning itself:
+//
+//   ShardedMedleyStore       hash partitioning — uniform spread, ordered
+//                            ops k-way-merge ALL shards
+//                            (sharded_store.hpp);
+//   RangeShardedMedleyStore  contiguous key ranges — ordered ops descend
+//                            only into the shards whose interval
+//                            intersects the query and concatenate
+//                            (range_sharded_store.hpp).
+//
+// CRTP contract for Derived:
+//   std::size_t shard_of(const K&) const;   // total, stable routing
+//   range(lo, hi) / scan(lo, limit);        // partitioning-shaped
+//
+// Consistency contract (tests/test_sharded_store.cpp,
+// tests/test_range_sharded_store.cpp): per shard, the I1-I4 invariants of
+// basic_store.hpp; globally, any committed transaction observes all shards
+// at one serialization point (a cross-shard multi_put is never
+// half-visible), and the merged feed replayed over an empty map reproduces
+// the union of the shard primaries.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/medley.hpp"
+#include "store/medley_store.hpp"
+#include "store/store_stats.hpp"
+
+namespace medley::store {
+
+template <typename K, typename V, typename Derived>
+class ShardedStoreBase {
+ public:
+  using Shard = MedleyStore<K, V>;
+  using FeedItem = FeedEntry<K, V>;
+
+  // ---- topology ----------------------------------------------------------
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  Shard& shard(std::size_t i) { return *shards_[i].store; }
+  const Shard& shard(std::size_t i) const { return *shards_[i].store; }
+  core::TxManager* manager(std::size_t i) { return shards_[i].mgr.get(); }
+  core::TxDomain* domain() { return domain_.get(); }
+
+  // ---- point operations: single-shard fast path --------------------------
+
+  std::optional<V> get(const K& k) { return home(k).get(k); }
+  bool contains(const K& k) { return home(k).contains(k); }
+  std::optional<V> put(const K& k, const V& v) { return home(k).put(k, v); }
+  std::optional<V> del(const K& k) { return home(k).del(k); }
+
+  template <typename F>
+  std::optional<V> read_modify_write(const K& k, F&& f) {
+    return home(k).read_modify_write(k, std::forward<F>(f));
+  }
+
+  // ---- cross-shard atomic operations -------------------------------------
+
+  /// All-or-nothing batch upsert across any number of shards (one
+  /// transaction, one commit CAS, one feed entry per key on its shard's
+  /// feed). Single-shard batches take that shard's fast path.
+  void multi_put(const std::vector<std::pair<K, V>>& kvs) {
+    if (kvs.empty()) return;
+    if (const auto only = single_shard_of(kvs)) {
+      shards_[*only].store->multi_put(kvs);
+      return;
+    }
+    cross_exec([&] {
+      for (const auto& [k, v] : kvs) home(k).put(k, v);
+    });
+  }
+
+  /// Atomic read-modify-write over a key set spanning shards:
+  /// `f(key, current) -> desired` per key, nullopt meaning absent on
+  /// either side. All reads and all writes belong to one transaction —
+  /// a cross-shard transfer is one call. f may run once per attempt and
+  /// must be side-effect-free.
+  template <typename F>
+  void read_modify_write_many(const std::vector<K>& keys, F&& f) {
+    if (keys.empty()) return;
+    cross_exec([&] {
+      for (const K& k : keys) {
+        Shard& s = home(k);
+        std::optional<V> cur = s.get(k);
+        std::optional<V> desired =
+            f(k, static_cast<const std::optional<V>&>(cur));
+        if (desired) {
+          s.put(k, *desired);
+        } else if (cur) {
+          s.del(k);
+        }
+      }
+    });
+  }
+
+  /// Run arbitrary store operations (on this store or its shards) as one
+  /// atomic transaction under the configured TxPolicy (same executor
+  /// contract as the per-shard ops: a bounded policy that exhausts its
+  /// budget rethrows the terminal abort). Returns the executor's TxStats.
+  template <typename F>
+  TxStats transact(F&& body) {
+    if (domain_->in_tx()) {  // flat-nest into an ambient transaction
+      body();
+      return {};
+    }
+    auto res = cross_exec_.execute(*root_mgr(), std::forward<F>(body));
+    cross_stats_.record(res.stats);
+    rethrow_failed_non_user(res);
+    return res.stats;
+  }
+
+  // ---- merged change feed ------------------------------------------------
+
+  /// Atomically drain up to `max_entries` committed mutations across all
+  /// shard feeds, merged by sequence stamp (peek every head, pop the
+  /// smallest; per-shard FIFO is never reordered). One transaction: either
+  /// the whole drained batch leaves the feeds, or none of it.
+  ///
+  /// Hot-path shape (this is the replication tap, called once per
+  /// mutation by the YCSB drivers): the merge works on the raw per-shard
+  /// queues inside one transaction — no per-entry sub-poll, no per-entry
+  /// accounting closure — and degenerates to a straight drain when zero
+  /// or one shard has entries, which is the steady state of a tap that
+  /// keeps up.
+  std::vector<FeedItem> poll_feed(std::size_t max_entries) {
+    const std::size_t n = shards_.size();
+    if (n == 1) return shards_[0].store->poll_feed(max_entries);
+    // Clamp one transaction's drain to StoreConfig::feed_drain_per_tx,
+    // itself capped by kMaxFeedDrainPerTx (basic_store.hpp): every pop
+    // costs a descriptor write entry (the dequeue CAS) and, in the merge,
+    // a read entry (the re-peek of that head). An unclamped
+    // poll_feed(10'000) over deep feeds would deterministically
+    // Capacity-abort — which the retry policy treats as transient — and
+    // spin. "Up to max_entries" permits returning fewer; drain loops just
+    // call again.
+    max_entries = std::min(
+        max_entries, std::min(cfg_.feed_drain_per_tx, kMaxFeedDrainPerTx));
+    std::vector<FeedItem> out;
+    // Per-call scratch, reused across calls (sized by shard count).
+    thread_local std::vector<std::optional<FeedItem>> heads;
+    thread_local std::vector<std::size_t> polled;
+    cross_exec([&] {
+      out.clear();
+      heads.assign(n, std::nullopt);
+      polled.assign(n, 0);
+      std::size_t nonempty = 0, last = n;
+      for (std::size_t i = 0; i < n; i++) {
+        heads[i] = shards_[i].store->feed_queue().peek();
+        if (heads[i]) {
+          nonempty++;
+          last = i;
+        }
+      }
+      if (nonempty == 1) {
+        // Emptiness of every other shard is transactional evidence from
+        // the peeks above, so a straight FIFO drain of the one live queue
+        // IS the merged order.
+        auto& q = shards_[last].store->feed_queue();
+        while (out.size() < max_entries) {
+          auto e = q.dequeue();
+          if (!e) break;
+          out.push_back(*e);
+          polled[last]++;
+        }
+      } else if (nonempty > 1) {
+        while (out.size() < max_entries) {
+          std::size_t best = n;
+          for (std::size_t i = 0; i < n; i++) {
+            if (heads[i] &&
+                (best == n || heads[i]->seq < heads[best]->seq)) {
+              best = i;
+            }
+          }
+          if (best == n) break;  // every feed drained
+          auto& q = shards_[best].store->feed_queue();
+          auto e = q.dequeue();
+          if (!e) break;  // peeked head stolen: tx is doomed, stop merging
+          out.push_back(*e);
+          polled[best]++;
+          heads[best] = q.peek();
+        }
+      }
+      for (std::size_t i = 0; i < n; i++) {
+        shards_[i].store->defer_feed_poll_accounting(polled[i]);
+      }
+    });
+    return out;
+  }
+
+  /// Per-shard tap: drain up to `max_entries` from the feed of the shard
+  /// that owns `k`, entirely inside that shard's manager (no cross-shard
+  /// transaction, no merge). This is the hot-path replication pattern for
+  /// a sharded store — each shard ships its own change stream and a
+  /// total-order consumer uses poll_feed() — and what the YCSB mutators
+  /// use to tap the feed they just appended to.
+  std::vector<FeedItem> poll_feed_local(const K& k,
+                                        std::size_t max_entries) {
+    return home(k).poll_feed(max_entries);
+  }
+
+  std::uint64_t feed_depth() const {
+    std::uint64_t d = 0;
+    for (const Slot& s : shards_) d += s.store->feed_depth();
+    return d;
+  }
+
+  // ---- introspection -----------------------------------------------------
+
+  /// Aggregate across all shards plus the cross-shard transaction block.
+  StoreStats::Snapshot stats() const {
+    StoreStats::Snapshot agg = cross_stats_.aggregate();
+    for (const Slot& s : shards_) agg += s.store->stats();
+    return agg;
+  }
+
+  /// The calling thread's exact counters (same aggregation).
+  StoreStats::Snapshot stats_mine() const {
+    StoreStats::Snapshot agg = cross_stats_.mine();
+    for (const Slot& s : shards_) agg += s.store->stats_mine();
+    return agg;
+  }
+
+  StoreStats::Snapshot stats_shard(std::size_t i) const {
+    return shards_[i].store->stats();
+  }
+  StoreStats::Snapshot stats_cross() const {
+    return cross_stats_.aggregate();
+  }
+
+  /// Committed key count per shard (insert/remove deltas from
+  /// store_stats.hpp, exact between quiescent points): the imbalance
+  /// observable — a hot range on a range-partitioned store, or a broken
+  /// hash on a hash-partitioned one, shows up here before it shows up as
+  /// tail latency.
+  std::vector<std::uint64_t> key_counts() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(shards_.size());
+    for (const Slot& s : shards_) out.push_back(s.store->stats().key_count());
+    return out;
+  }
+
+ protected:
+  struct Slot {
+    std::unique_ptr<core::TxManager> mgr;
+    std::unique_ptr<Shard> store;
+  };
+
+  explicit ShardedStoreBase(std::size_t nshards, StoreConfig cfg = {})
+      : domain_(std::make_shared<core::TxDomain>()),
+        cfg_(cfg),
+        cross_exec_(cfg.tx_policy) {
+    if (nshards == 0) {
+      throw std::invalid_argument("sharded store: nshards must be > 0");
+    }
+    // Split the configured primary capacity across shards (the key space
+    // is partitioned, not replicated), with a floor for tiny configs.
+    StoreConfig shard_cfg = cfg;
+    shard_cfg.buckets = std::max<std::size_t>(cfg.buckets / nshards, 64);
+    shards_.reserve(nshards);
+    for (std::size_t i = 0; i < nshards; i++) {
+      auto mgr = std::make_unique<core::TxManager>(domain_);
+      auto store = std::make_unique<Shard>(mgr.get(), shard_cfg);
+      store->share_feed_sequencer(&feed_seq_);
+      shards_.push_back(Slot{std::move(mgr), std::move(store)});
+    }
+  }
+
+  Derived& derived() { return static_cast<Derived&>(*this); }
+  const Derived& derived() const { return static_cast<const Derived&>(*this); }
+
+  Shard& home(const K& k) { return *shards_[derived().shard_of(k)].store; }
+
+  /// Root manager for cross-shard transactions. Shard 0 by convention:
+  /// cross-shard commits/aborts are billed there at the TxManager level
+  /// (store-level accounting lands in cross_stats_ regardless).
+  core::TxManager* root_mgr() { return shards_[0].mgr.get(); }
+
+  /// One transaction spanning shards — exactly transact()'s choreography
+  /// (flat-nest, or the cross-shard executor rooted at shard 0 with the
+  /// outcome recorded into cross_stats_).
+  template <typename Body>
+  void cross_exec(Body&& body) {
+    (void)transact(std::forward<Body>(body));
+  }
+
+  /// If every key lands on one shard, its index.
+  std::optional<std::size_t> single_shard_of(
+      const std::vector<std::pair<K, V>>& kvs) const {
+    const std::size_t s0 = derived().shard_of(kvs.front().first);
+    for (const auto& [k, v] : kvs) {
+      if (derived().shard_of(k) != s0) return std::nullopt;
+    }
+    return s0;
+  }
+
+  std::shared_ptr<core::TxDomain> domain_;
+  StoreConfig cfg_;         // as configured (shards get the split-bucket copy)
+  TxExecutor cross_exec_;   // cross-shard transactions, same policy as shards
+  std::vector<Slot> shards_;
+  std::atomic<std::uint64_t> feed_seq_{0};
+  StoreStats cross_stats_;
+};
+
+}  // namespace medley::store

@@ -15,13 +15,22 @@
 //   skv.multi_put({{1, 10}, {2, 20}});    // may span shards: all-or-nothing
 //   auto all = skv.range(0, 100);         // k-way-merged atomic snapshot
 //
+//   // Scan-heavy workloads: contiguous key-range shards — ordered ops
+//   // descend only into the shards their window intersects.
+//   medley::store::RangeShardedMedleyStore<uint64_t, uint64_t>
+//       rkv(4, /*seed_keys=*/{...});      // boundaries from a key sample
+//   auto win = rkv.range(0, 100);         // concatenated, no k-way merge
+//
 // See basic_store.hpp for the design notes, medley_store.hpp for the
 // DRAM store, persistent_medley_store.hpp for the crash-surviving one,
-// sharded_store.hpp for the partitioned one.
+// sharded_base.hpp + sharded_store.hpp + range_sharded_store.hpp for the
+// partitioned ones (ARCHITECTURE.md maps the whole stack).
 
 #include "store/basic_store.hpp"
 #include "store/feed.hpp"
 #include "store/medley_store.hpp"
 #include "store/persistent_medley_store.hpp"
+#include "store/range_sharded_store.hpp"
+#include "store/sharded_base.hpp"
 #include "store/sharded_store.hpp"
 #include "store/store_stats.hpp"

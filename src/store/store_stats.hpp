@@ -25,12 +25,26 @@ namespace medley::store {
 class StoreStats {
  public:
   /// TxStats (commits/retries/aborts-by-reason, with aborts()) plus the
-  /// store's feed counters.
+  /// store's feed and key-count counters.
   struct Snapshot : TxStats {
     std::uint64_t feed_pushed = 0;
     std::uint64_t feed_polled = 0;
+    std::uint64_t keys_inserted = 0;  // committed puts of an ABSENT key
+    std::uint64_t keys_removed = 0;   // committed dels of a PRESENT key
 
-    /// Aggregation across stores (ShardedMedleyStore sums its shards'
+    /// Committed live-key count (exact between quiescent points;
+    /// saturating for the same mid-flight reason as feed_depth()). This
+    /// is the partition-imbalance observable of the sharded stores: a
+    /// range-partitioned shard sitting under a hot interval shows up as
+    /// a runaway per-shard key_count() long before it shows up as tail
+    /// latency. Counts committed traffic only — a store rebuilt by
+    /// recovery (PersistentMedleyStore::recover_from) restarts from 0.
+    std::uint64_t key_count() const {
+      return keys_inserted >= keys_removed ? keys_inserted - keys_removed
+                                           : 0;
+    }
+
+    /// Aggregation across stores (the sharded stores sum their shards'
     /// snapshots plus the cross-shard block; the YCSB driver sums rows).
     /// Overloads TxStats::operator+= so the feed counters fold too.
     using TxStats::operator+=;
@@ -38,6 +52,8 @@ class StoreStats {
       TxStats::operator+=(o);
       feed_pushed += o.feed_pushed;
       feed_polled += o.feed_polled;
+      keys_inserted += o.keys_inserted;
+      keys_removed += o.keys_removed;
       return *this;
     }
   };
@@ -55,6 +71,8 @@ class StoreStats {
 
   void note_feed_push(std::uint64_t n) { add(my_slot().feed_pushed, n); }
   void note_feed_poll(std::uint64_t n) { add(my_slot().feed_polled, n); }
+  void note_key_insert(std::uint64_t n) { add(my_slot().keys_inserted, n); }
+  void note_key_remove(std::uint64_t n) { add(my_slot().keys_removed, n); }
 
   /// Sum over all thread slots.
   Snapshot aggregate() const {
@@ -92,6 +110,8 @@ class StoreStats {
     std::atomic<std::uint64_t> user_aborts{0};
     std::atomic<std::uint64_t> feed_pushed{0};
     std::atomic<std::uint64_t> feed_polled{0};
+    std::atomic<std::uint64_t> keys_inserted{0};
+    std::atomic<std::uint64_t> keys_removed{0};
   };
 
   static void add(std::atomic<std::uint64_t>& c, std::uint64_t n) {
@@ -111,6 +131,8 @@ class StoreStats {
     out += t;
     out.feed_pushed += s.feed_pushed.load(std::memory_order_relaxed);
     out.feed_polled += s.feed_polled.load(std::memory_order_relaxed);
+    out.keys_inserted += s.keys_inserted.load(std::memory_order_relaxed);
+    out.keys_removed += s.keys_removed.load(std::memory_order_relaxed);
   }
 
   Slot& my_slot() { return *slots_[util::ThreadRegistry::tid()]; }

@@ -117,7 +117,7 @@ TEST(Boosting, ComposesWithNbtcStructureAtomically) {
   medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t> nbtc(&mgr, 64);
   boosted.insert(1, 100);
 
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = boosted.remove(1);
     ASSERT_TRUE(v.has_value());
     nbtc.insert(1, *v);
@@ -167,7 +167,7 @@ TEST(Boosting, DisjointKeysDoNotConflict) {
   medley::test::run_threads(4, [&](int t) {
     const std::uint64_t base = static_cast<std::uint64_t>(t) * 1000;
     for (int i = 0; i < 200; i++) {
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         m.insert(base + static_cast<std::uint64_t>(i), 1);
         m.put(base + static_cast<std::uint64_t>(i), 2);
       });

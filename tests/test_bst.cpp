@@ -103,7 +103,7 @@ TEST(Bst, TxComposedDeleteAndInsertDifferentKeys) {
   BST t(&mgr);
   t.insert(10, 1);
   t.insert(20, 2);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     ASSERT_TRUE(t.remove(10).has_value());
     ASSERT_TRUE(t.insert(30, 3));
   });

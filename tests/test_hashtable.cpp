@@ -205,7 +205,7 @@ TEST(HashTableTx, Fig3TransferBetweenTables) {
   Map ht1(&mgr, 64), ht2(&mgr, 64);
   ht1.insert(1, 100);
   ht2.insert(2, 5);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v1 = ht1.get(1);
     auto v2 = ht2.get(2);
     if (!v1 || *v1 < 30) mgr.txAbort();
@@ -311,7 +311,7 @@ TEST(HashTableConc, TransactionalTransfersConserveTotal) {
       auto to = rng.next_bounded(kAccounts);
       Map& src = (rng.next() & 1) ? a : b;
       Map& dst = (&src == &a) ? b : a;
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         auto v1 = src.get(from);
         auto v2 = dst.get(to);
         if (!v1 || *v1 == 0) mgr.txAbort();

@@ -58,7 +58,7 @@ TEST(Liveness, StalledInPrepTxDoesNotBlockPeers) {
 
   // Peers make progress — bounded time, no help from the staller.
   for (int i = 0; i < 100; i++) {
-    medley::run_tx(mgr, [&] {
+    medley::execute_tx(mgr, [&] {
       auto v = m.get(1);
       m.put(1, v.value_or(0) + 1);
     });
@@ -82,10 +82,10 @@ TEST(Liveness, SoloThreadRetryCommitsInOneRound) {
   m.insert(1, 0);
   mgr.reset_stats();
   for (int i = 0; i < 500; i++) {
-    auto aborts = medley::run_tx(mgr, [&] {
+    auto aborts = medley::execute_tx(mgr, [&] {
       auto v = m.get(1);
       m.put(1, *v + 1);
-    });
+    }).stats;
     EXPECT_EQ(aborts.aborts(), 0u)
         << "solo transaction aborted at iteration " << i;
   }
@@ -102,7 +102,7 @@ TEST(Liveness, AbortStormTerminates) {
   std::atomic<std::uint64_t> done{0};
   medley::test::run_threads(8, [&](int) {
     for (int i = 0; i < 100; i++) {
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         auto v = m.get(1);
         m.put(1, *v + 1);
         // widen the conflict window with extra reads
@@ -145,7 +145,7 @@ TEST(Liveness, ReaderOnlyTransactionsNeverStopWriters) {
   }
   std::uint64_t writer_commits = 0;
   for (int i = 0; i < 500; i++) {
-    medley::run_tx(mgr, [&] {
+    medley::execute_tx(mgr, [&] {
       m.put(1 + (static_cast<std::uint64_t>(i) % 32), 999);
     });
     writer_commits++;

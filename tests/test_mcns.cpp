@@ -282,7 +282,7 @@ TEST(Mcns, ConservationUnderConcurrentTransfers) {
       auto from = rng.next_bounded(kCells);
       auto to = rng.next_bounded(kCells);
       if (from == to) continue;
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         auto vf = cells[from]->nbtcLoad();
         auto vt = cells[to]->nbtcLoad();
         if (vf == 0) mgr.txAbort();
@@ -304,10 +304,10 @@ TEST(Mcns, ObstructionFreedomSoloThreadAlwaysCommits) {
   // in one round (Theorem 4).
   TxManager mgr;
   U64Obj a(0), b(0);
-  auto aborts = medley::run_tx(mgr, [&] {
+  auto aborts = medley::execute_tx(mgr, [&] {
     ASSERT_TRUE(a.nbtcCAS(a.nbtcLoad(), 1, true, true));
     ASSERT_TRUE(b.nbtcCAS(b.nbtcLoad(), 1, true, true));
-  });
+  }).stats;
   EXPECT_EQ(aborts.aborts(), 0u);
   EXPECT_EQ(a.load(), 1u);
   EXPECT_EQ(b.load(), 1u);
@@ -324,7 +324,7 @@ TEST(Mcns, TornMultiCellStateNeverObservable) {
 
   std::thread writer([&] {
     for (std::uint64_t k = 1; k <= 3000; k++) {
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         auto vx = x.nbtcLoad();
         auto vy = y.nbtcLoad();
         if (!x.nbtcCAS(vx, k, true, true)) mgr.txAbort();

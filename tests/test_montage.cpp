@@ -144,7 +144,7 @@ TEST_F(EpochSysTest, AdvanceMovesClockAndBoundary) {
 TEST_F(EpochSysTest, CommittedPayloadBecomesDurableAtBoundary) {
   TxManager mgr;
   es->attach(&mgr);
-  medley::run_tx(mgr, [&] { es->alloc_payload(1, 10, 100); });
+  medley::execute_tx(mgr, [&] { es->alloc_payload(1, 10, 100); });
   EXPECT_EQ(es->durable_payload_count(), 0u);  // epoch still open
   es->sync();
   EXPECT_EQ(es->durable_payload_count(), 1u);
@@ -168,10 +168,10 @@ TEST_F(EpochSysTest, RetirePersistsAtBoundary) {
   TxManager mgr;
   es->attach(&mgr);
   PBlk* blk = nullptr;
-  medley::run_tx(mgr, [&] { blk = es->alloc_payload(1, 10, 100); });
+  medley::execute_tx(mgr, [&] { blk = es->alloc_payload(1, 10, 100); });
   es->sync();
   ASSERT_EQ(es->durable_payload_count(), 1u);
-  medley::run_tx(mgr, [&] { es->retire_payload(blk); });
+  medley::execute_tx(mgr, [&] { es->retire_payload(blk); });
   EXPECT_EQ(es->durable_payload_count(), 1u);  // retire not yet persisted
   es->sync();
   EXPECT_EQ(es->durable_payload_count(), 0u);
@@ -180,7 +180,7 @@ TEST_F(EpochSysTest, RetirePersistsAtBoundary) {
 TEST_F(EpochSysTest, CancelReleasesSlotImmediately) {
   TxManager mgr;
   es->attach(&mgr);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     PBlk* b = es->alloc_payload(1, 1, 1);
     es->cancel_payload(b);
   });
@@ -212,7 +212,7 @@ TEST_F(EpochSysTest, RetryAfterEpochAbortSucceeds) {
   std::thread adv;
   bool first = true;
   const auto e0 = es->current_epoch();
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     es->alloc_payload(1, 6, 60);
     if (first) {
       first = false;
@@ -232,8 +232,8 @@ TEST_F(EpochSysTest, QuarantinedSlotReusableAfterGrace) {
   TxManager mgr;
   es->attach(&mgr);
   PBlk* blk = nullptr;
-  medley::run_tx(mgr, [&] { blk = es->alloc_payload(1, 7, 70); });
-  medley::run_tx(mgr, [&] { es->retire_payload(blk); });
+  medley::execute_tx(mgr, [&] { blk = es->alloc_payload(1, 7, 70); });
+  medley::execute_tx(mgr, [&] { es->retire_payload(blk); });
   es->sync();
   // The slot frees once the persistence quarantine AND an EBR grace
   // period have both passed; a few advances push both forward.
@@ -249,7 +249,7 @@ TEST_F(EpochSysTest, BackgroundAdvancerMakesProgress) {
   TxManager mgr;
   es->attach(&mgr);
   const auto pe0 = es->persisted_epoch();
-  medley::run_tx(mgr, [&] { es->alloc_payload(1, 9, 90); });
+  medley::execute_tx(mgr, [&] { es->alloc_payload(1, 9, 90); });
   // The advancer alone must eventually persist the payload's epoch.
   for (int i = 0; i < 2000 && es->durable_payload_count() == 0; i++) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -262,9 +262,9 @@ TEST_F(EpochSysTest, BackgroundAdvancerMakesProgress) {
 TEST_F(EpochSysTest, RecoverDropsUnpersistedPayloads) {
   TxManager mgr;
   es->attach(&mgr);
-  medley::run_tx(mgr, [&] { es->alloc_payload(1, 1, 11); });
+  medley::execute_tx(mgr, [&] { es->alloc_payload(1, 1, 11); });
   es->sync();
-  medley::run_tx(mgr, [&] { es->alloc_payload(1, 2, 22); });  // not synced
+  medley::execute_tx(mgr, [&] { es->alloc_payload(1, 2, 22); });  // not synced
   auto recovered = es->recover();
   ASSERT_EQ(recovered.size(), 1u);
   EXPECT_EQ(recovered[0].key, 1u);

@@ -49,7 +49,7 @@ TEST(TxMontageQueue, TxComposesWithPersistentMap) {
   TxMontageHashTable m(&mgr, &es, 2, 64);
 
   q.enqueue(7);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = q.dequeue();
     ASSERT_TRUE(v.has_value());
     m.insert(*v, 1);
@@ -80,11 +80,11 @@ TEST(TxMontageQueue, SyncedContentsSurviveCrashInOrder) {
     es.attach(&mgr);
     TxMontageQueue q(&mgr, &es, 1);
     for (std::uint64_t i = 1; i <= 10; i++) {
-      medley::run_tx(mgr, [&] { q.enqueue(i); });
+      medley::execute_tx(mgr, [&] { q.enqueue(i); });
     }
-    medley::run_tx(mgr, [&] { q.dequeue(); });  // consume "1"
+    medley::execute_tx(mgr, [&] { q.dequeue(); });  // consume "1"
     es.sync();
-    medley::run_tx(mgr, [&] { q.enqueue(99); });  // unsynced
+    medley::execute_tx(mgr, [&] { q.enqueue(99); });  // unsynced
   }
   {
     PRegion region(path, 1024);
@@ -112,9 +112,9 @@ TEST(TxMontageQueue, UnsyncedDequeueResurrects) {
     EpochSys es(&region);
     es.attach(&mgr);
     TxMontageQueue q(&mgr, &es, 1);
-    medley::run_tx(mgr, [&] { q.enqueue(42); });
+    medley::execute_tx(mgr, [&] { q.enqueue(42); });
     es.sync();
-    medley::run_tx(mgr, [&] { q.dequeue(); });  // unsynced removal
+    medley::execute_tx(mgr, [&] { q.dequeue(); });  // unsynced removal
   }
   {
     PRegion region(path, 1024);
@@ -139,7 +139,7 @@ TEST(TxMontageQueue, ConcurrentTransfersConserveAcrossCrash) {
     es.attach(&mgr);
     TxMontageQueue a(&mgr, &es, 1), b(&mgr, &es, 2);
     for (std::uint64_t i = 1; i <= kElems; i++) {
-      medley::run_tx(mgr, [&] { a.enqueue(i); });
+      medley::execute_tx(mgr, [&] { a.enqueue(i); });
     }
     es.sync();
     es.start_advancer(2);

@@ -69,7 +69,7 @@ TEST(MsQueueTx, TwoQueueMoveIsAtomic) {
   TxManager mgr;
   Q a(&mgr), b(&mgr);
   a.enqueue(42);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = a.dequeue();
     ASSERT_TRUE(v.has_value());
     b.enqueue(*v);
@@ -112,7 +112,7 @@ TEST(MsQueueTx, EnqueueThenDequeueSameTxSeesOwnElement) {
   // the dequeue must observe the same transaction's speculative enqueue.
   TxManager mgr;
   Q q(&mgr);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     q.enqueue(5);
     auto v = q.dequeue();
     ASSERT_TRUE(v.has_value());
@@ -124,7 +124,7 @@ TEST(MsQueueTx, EnqueueThenDequeueSameTxSeesOwnElement) {
 TEST(MsQueueTx, EnqueueTwoDequeueOneSameTx) {
   TxManager mgr;
   Q q(&mgr);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     q.enqueue(1);
     q.enqueue(2);
     EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(1));
@@ -137,7 +137,7 @@ TEST(MsQueueTx, DequeueThenEnqueueSameTxOnNonEmpty) {
   TxManager mgr;
   Q q(&mgr);
   q.enqueue(10);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     EXPECT_EQ(q.dequeue(), std::optional<std::uint64_t>(10));
     q.enqueue(11);
   });
@@ -167,7 +167,7 @@ TEST(MsQueueTx, QueueAndMapComposeInOneTx) {
   Q q(&mgr);
   medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t> seen(&mgr, 64);
   q.enqueue(3);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = q.dequeue();
     ASSERT_TRUE(v.has_value());
     seen.insert(*v, 1);

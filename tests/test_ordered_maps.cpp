@@ -222,7 +222,7 @@ TYPED_TEST(OrderedMap, TxRemoveThenReinsertSameKey) {
 TYPED_TEST(OrderedMap, TxMoveBetweenTwoInstances) {
   TypeParam a(&this->mgr), b(&this->mgr);
   a.insert(9, 90);
-  medley::run_tx(this->mgr, [&] {
+  medley::execute_tx(this->mgr, [&] {
     auto v = a.remove(9);
     if (v) b.insert(9, *v);
   });
@@ -337,7 +337,7 @@ TYPED_TEST(OrderedMap, ConcReadersNeverSeeTornState) {
   std::atomic<int> torn{0};
   std::thread writer([&] {
     for (int i = 0; i < 600; i++) {
-      medley::run_tx(this->mgr, [&] {
+      medley::execute_tx(this->mgr, [&] {
         if (auto v = a.remove(1)) {
           b.insert(1, *v);
         } else if (auto w = b.remove(1)) {

@@ -222,7 +222,7 @@ TEST(ShardedStore, SchedulePinnedCrossShardMultiPutIsAtomic) {
   d.add_thread({
       [&] {
         // One committed reader transaction across both shards.
-        medley::run_tx(*s.manager(0), [&] {
+        medley::execute_tx(*s.manager(0), [&] {
           saw_a.store(s.get(ka).has_value());
           saw_b.store(s.get(kb).has_value());
         });
@@ -247,7 +247,7 @@ TEST(ShardedStore, SchedulePinnedCrossShardMultiPutIsAtomic) {
   h::ScheduleDriver d2;
   d2.add_thread({[&] { s.multi_put({{ka, 111}, {kb, 222}}); }});
   d2.add_thread({[&] {
-    medley::run_tx(*s.manager(0), [&] {
+    medley::execute_tx(*s.manager(0), [&] {
       saw_a2.store(s.get(ka).has_value());
       saw_b2.store(s.get(kb).has_value());
     });

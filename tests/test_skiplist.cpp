@@ -150,7 +150,7 @@ TEST(Skiplist, RangeInsideTxSeesOwnSpeculativeWrites) {
   TxManager mgr;
   SL s(&mgr);
   for (std::uint64_t k = 1; k <= 8; k++) s.insert(k, k);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     s.remove(4);
     s.insert(100, 100);
     auto r = s.range(1, 200);
@@ -169,7 +169,7 @@ TEST(Skiplist, MgrStatsSeeTransactionOutcomes) {
   TxManager mgr;
   SL s(&mgr);
   mgr.reset_stats();
-  medley::run_tx(mgr, [&] { s.insert(1, 1); });
+  medley::execute_tx(mgr, [&] { s.insert(1, 1); });
   try {
     mgr.txBegin();
     s.insert(2, 2);
@@ -281,7 +281,7 @@ TEST(SkiplistOracle, CommittedRangeIsAtomicSnapshotUnderConcurrency) {
       for (int i = 0; i < 500; i++) {
         const auto p = rng.next_bounded(kPairs);
         try {
-          medley::run_tx(mgr, [&] {
+          medley::execute_tx(mgr, [&] {
             if (s.remove(2 * p).has_value()) {
               s.remove(2 * p + 1);
             } else {
@@ -296,7 +296,7 @@ TEST(SkiplistOracle, CommittedRangeIsAtomicSnapshotUnderConcurrency) {
       for (int i = 0; i < 500; i++) {
         std::vector<std::pair<std::uint64_t, std::uint64_t>> snap;
         try {
-          medley::run_tx(mgr, [&] { snap = s.range(0, 2 * kPairs); });
+          medley::execute_tx(mgr, [&] { snap = s.range(0, 2 * kPairs); });
         } catch (const TransactionAborted&) {
           continue;  // uncommitted attempts may legally be torn
         }

@@ -167,7 +167,7 @@ TEST(Store, FlatNestingComposesIntoAmbientTransaction) {
   EXPECT_TRUE(s.poll_feed(10).empty()) << "aborted tx leaked a feed entry";
 
   // And a commit applies all of it atomically.
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     s.put(6, 60);
     auto v = s.get(1);
     s.put(7, *v + 100);
@@ -222,7 +222,7 @@ TEST(Store, MixedWorkloadMutualConsistency8Threads) {
         const auto k = rng.next_bounded(kKeys);
         std::optional<std::uint64_t> p;
         std::vector<std::pair<std::uint64_t, std::uint64_t>> r;
-        medley::run_tx(mgr, [&] {
+        medley::execute_tx(mgr, [&] {
           p = s.get(k);
           r = s.range(k, k);
         });
@@ -370,7 +370,7 @@ TEST(PersistentStore, ConcurrentCrashRecoveryKeepsIndexesConsistent) {
         const auto k = rng.next_bounded(kKeys);
         const auto gen = rng.next_bounded(1u << 16);
         if (rng.next_bounded(5) == 0) {
-          medley::run_tx(mgr, [&] {
+          medley::execute_tx(mgr, [&] {
             s.del(k);
             s.del(k + 1000);
           });

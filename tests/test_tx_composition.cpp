@@ -35,7 +35,7 @@ TEST(Composition, FourStructuresOneTransaction) {
   Bst b(&mgr);
 
   q.enqueue(1);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = q.dequeue();
     ASSERT_TRUE(v.has_value());
     h.insert(*v, 100);
@@ -81,19 +81,19 @@ TEST(Composition, ChainedMovesAcrossFiveStructures) {
   Bst b(&mgr);
 
   q.enqueue(42);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = q.dequeue();
     h.insert(42, *v);
   });
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = h.remove(42);
     s.insert(42, *v);
   });
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = s.remove(42);
     r.insert(42, *v);
   });
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = r.remove(42);
     b.insert(42, *v);
   });
@@ -119,7 +119,7 @@ TEST(Composition, ReadOnlySnapshotAcrossStructures) {
   std::atomic<int> torn{0};
   std::thread writer([&] {
     for (std::uint64_t i = 1; i <= 1200; i++) {
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         h.remove(1);
         h.insert(1, i);
         s.remove(1);
@@ -220,7 +220,7 @@ TEST(Composition, LivenessUnderHeavyOversubscription) {
   medley::test::run_threads(16, [&](int t) {
     medley::util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 5);
     for (int i = 0; i < 150; i++) {
-      medley::run_tx(mgr, [&] {
+      medley::execute_tx(mgr, [&] {
         auto vh = h.get(1).value_or(0);
         auto vs = s.get(1).value_or(0);
         h.put(1, vh + 1);
@@ -243,7 +243,7 @@ TEST(Composition, LargeTransactionAcrossAllStructures) {
   Skip s(&mgr);
   Rot r(&mgr);
   Bst b(&mgr);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     for (std::uint64_t k = 1; k <= 40; k++) {
       q.enqueue(k);
       h.insert(k, k);

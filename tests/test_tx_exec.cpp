@@ -317,7 +317,7 @@ TEST(TxExecutor, ValuePlumbingOnCommitAndGiveUp) {
   EXPECT_EQ(*r3.value, 2);
 }
 
-TEST(TxExecutor, ExecuteTxFreeFunctionAndRunTxShim) {
+TEST(TxExecutor, ExecuteTxFreeFunctionDefaultPolicy) {
   TxManager mgr;
   U64Obj a(0);
   auto r = medley::execute_tx(mgr, [&] {
@@ -327,8 +327,9 @@ TEST(TxExecutor, ExecuteTxFreeFunctionAndRunTxShim) {
   EXPECT_TRUE(r.committed());
   EXPECT_EQ(a.load(), 1u);
 
-  // The deprecated shim preserves the historical TxStats contract.
-  auto st = medley::run_tx(mgr, [&] { mgr.txAbort(); });
+  // The default policy preserves the historical (pre-executor run_tx)
+  // TxStats contract: a user abort is terminal, not retried.
+  auto st = medley::execute_tx(mgr, [&] { mgr.txAbort(); }).stats;
   EXPECT_EQ(st.commits, 0u);
   EXPECT_EQ(st.user_aborts, 1u);
 }

@@ -85,7 +85,7 @@ TEST(TxIsolation, SumConservedUnderMixedStructureTransfers) {
       if (from == to) continue;
       const auto amount = 1 + rng.next_bounded(5);
       try {
-        medley::run_tx(mgr, [&] {
+        medley::execute_tx(mgr, [&] {
           auto src = bank.read(from);
           auto dst = bank.read(to);
           ASSERT_TRUE(src.has_value());
@@ -127,7 +127,7 @@ TEST(TxIsolation, ConcurrentReadersNeverSeeTornTransfers) {
       for (int i = 0; i < 800; i++) {
         const auto amount = 1 + rng.next_bounded(3);
         try {
-          medley::run_tx(mgr, [&] {
+          medley::execute_tx(mgr, [&] {
             auto a = bank.read(kA);
             auto b = bank.read(kB);
             if (!a || *a < amount) mgr.txAbort();
@@ -144,7 +144,7 @@ TEST(TxIsolation, ConcurrentReadersNeverSeeTornTransfers) {
         // attempt run_tx actually commits counts as a snapshot.
         std::uint64_t sum = 0;
         try {
-          medley::run_tx(mgr, [&] {
+          medley::execute_tx(mgr, [&] {
             auto a = bank.read(kA);
             auto b = bank.read(kB);
             sum = a.value_or(0) + b.value_or(0);
@@ -194,7 +194,7 @@ TEST(TxIsolation, DeterministicConflictIsSerializable) {
   d.add_thread({
       [&] {
         try {
-          medley::run_tx(mgr, [&] {
+          medley::execute_tx(mgr, [&] {
             auto v = bank.read(0);
             bank.write(0, *v - 100);
             bank.write(1, *bank.read(1) + 100);

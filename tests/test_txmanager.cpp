@@ -240,11 +240,11 @@ TEST(TxManager, RunTxRetriesUntilCommit) {
       a.CAS(v, v);  // counter churn: forces occasional validation failures
     }
   });
-  auto aborts = medley::run_tx(mgr, [&] {
+  auto aborts = medley::execute_tx(mgr, [&] {
     attempts.fetch_add(1);
     auto v = a.nbtcLoad();
     if (!a.nbtcCAS(v, v + 1, true, true)) mgr.txAbort();
-  });
+  }).stats;
   stop = true;
   noise.join();
   EXPECT_EQ(a.load(), 1u);
@@ -394,10 +394,10 @@ TEST(TxAbortPaths, RunTxUserAbortNotRetriedByDefault) {
   TxManager mgr;
   mgr.reset_stats();
   int attempts = 0;
-  auto aborts = medley::run_tx(mgr, [&] {
+  auto aborts = medley::execute_tx(mgr, [&] {
     attempts++;
     mgr.txAbort();
-  });
+  }).stats;
   EXPECT_EQ(attempts, 1);  // user abort: give up, don't retry
   EXPECT_EQ(aborts.user_aborts, 1u);
   EXPECT_EQ(aborts.retries, 0u);
@@ -409,13 +409,16 @@ TEST(TxAbortPaths, RunTxRetriesUserAbortWhenAsked) {
   TxManager mgr;
   mgr.reset_stats();
   int attempts = 0;
-  auto aborts = medley::run_tx(
-      mgr,
-      [&] {
-        attempts++;
-        if (attempts < 4) mgr.txAbort();  // bail three times, then commit
-      },
-      /*retry_on_user_abort=*/true);
+  medley::TxPolicy retry_user;
+  retry_user.retry_user = true;
+  auto aborts = medley::execute_tx(
+                    mgr,
+                    [&] {
+                      attempts++;
+                      if (attempts < 4) mgr.txAbort();  // bail 3x, then commit
+                    },
+                    retry_user)
+                    .stats;
   EXPECT_EQ(attempts, 4);
   EXPECT_EQ(aborts.user_aborts, 3u);
   EXPECT_EQ(aborts.retries, 3u);
@@ -452,11 +455,11 @@ TEST(TxAbortPaths, RunTxCountsConflictRetries) {
           first_failed = true;
         }
         EXPECT_TRUE(first_failed);
-        auto aborts = medley::run_tx(mgr, [&] {
+        auto aborts = medley::execute_tx(mgr, [&] {
           attempts++;
           auto v = a.nbtcLoad();
           EXPECT_TRUE(a.nbtcCAS(v, v + 1, true, true));
-        });
+        }).stats;
         EXPECT_EQ(aborts.aborts(), 0u);
         EXPECT_EQ(aborts.commits, 1u);
       },
@@ -487,7 +490,7 @@ TEST(TxAbortPaths, AbortedTransactionLeavesThreadReusable) {
     } catch (const TransactionAborted&) {
     }
     EXPECT_FALSE(mgr.in_tx());
-    medley::run_tx(mgr, [&] {
+    medley::execute_tx(mgr, [&] {
       auto v = a.nbtcLoad();
       EXPECT_TRUE(a.nbtcCAS(v, v + 10, true, true));
     });
@@ -502,9 +505,9 @@ TEST(TxAbortPaths, CapacityAbortIsRetriedByRunTx) {
   TxManager mgr;
   mgr.reset_stats();
   int attempts = 0;
-  auto aborts = medley::run_tx(mgr, [&] {
+  auto aborts = medley::execute_tx(mgr, [&] {
     if (++attempts < 3) mgr.txAbortCapacity();
-  });
+  }).stats;
   EXPECT_EQ(attempts, 3);
   EXPECT_EQ(aborts.capacity_aborts, 2u);
   EXPECT_EQ(aborts.retries, 2u);

@@ -55,7 +55,7 @@ TEST(TxMontage, TransactionAcrossTwoPersistentMaps) {
   TxMontageSkiplist b(&mgr, &es, 2);
 
   a.insert(5, 500);
-  medley::run_tx(mgr, [&] {
+  medley::execute_tx(mgr, [&] {
     auto v = a.remove(5);
     ASSERT_TRUE(v.has_value());
     b.insert(5, *v);
@@ -94,7 +94,7 @@ TEST(TxMontage, SyncedDataSurvivesCrash) {
     es.attach(&mgr);
     TxMontageHashTable m(&mgr, &es, 1, 64);
     for (std::uint64_t k = 1; k <= 20; k++) {
-      medley::run_tx(mgr, [&] { m.insert(k, k * 10); });
+      medley::execute_tx(mgr, [&] { m.insert(k, k * 10); });
     }
     es.sync();
   }  // crash: all DRAM state gone
@@ -123,13 +123,13 @@ TEST(TxMontage, UnsyncedSuffixLostAtomically) {
     EpochSys es(&region);
     es.attach(&mgr);
     TxMontageHashTable m(&mgr, &es, 1, 64);
-    medley::run_tx(mgr, [&] {
+    medley::execute_tx(mgr, [&] {
       m.insert(1, 10);
       m.insert(2, 20);
     });
     es.sync();
     // Post-sync transaction: committed in DRAM, never persisted.
-    medley::run_tx(mgr, [&] {
+    medley::execute_tx(mgr, [&] {
       m.insert(3, 30);
       m.insert(4, 40);
     });
@@ -162,9 +162,9 @@ TEST(TxMontage, RemoveBeforeCrashWithoutSyncResurrects) {
     EpochSys es(&region);
     es.attach(&mgr);
     TxMontageHashTable m(&mgr, &es, 1, 64);
-    medley::run_tx(mgr, [&] { m.insert(1, 10); });
+    medley::execute_tx(mgr, [&] { m.insert(1, 10); });
     es.sync();
-    medley::run_tx(mgr, [&] { m.remove(1); });  // not synced
+    medley::execute_tx(mgr, [&] { m.remove(1); });  // not synced
   }
   {
     PRegion region(path, 1024);
@@ -188,8 +188,8 @@ TEST(TxMontage, SyncedRemoveStaysRemoved) {
     EpochSys es(&region);
     es.attach(&mgr);
     TxMontageHashTable m(&mgr, &es, 1, 64);
-    medley::run_tx(mgr, [&] { m.insert(1, 10); });
-    medley::run_tx(mgr, [&] { m.remove(1); });
+    medley::execute_tx(mgr, [&] { m.insert(1, 10); });
+    medley::execute_tx(mgr, [&] { m.remove(1); });
     es.sync();
   }
   {
@@ -215,7 +215,7 @@ TEST(TxMontage, TwoStructuresRecoverIndependentlyBySid) {
     es.attach(&mgr);
     TxMontageHashTable a(&mgr, &es, 1, 64);
     TxMontageSkiplist b(&mgr, &es, 2);
-    medley::run_tx(mgr, [&] {
+    medley::execute_tx(mgr, [&] {
       a.insert(1, 100);
       b.insert(1, 111);
     });
@@ -252,7 +252,7 @@ TEST(TxMontage, ConcurrentTransfersConserveAcrossCrash) {
     es.attach(&mgr);
     TxMontageHashTable m(&mgr, &es, 1, 64);
     for (std::uint64_t k = 0; k < kAccounts; k++) {
-      medley::run_tx(mgr, [&] { m.insert(k, kInitial); });
+      medley::execute_tx(mgr, [&] { m.insert(k, kInitial); });
     }
     es.sync();
     es.start_advancer(2);
@@ -262,7 +262,7 @@ TEST(TxMontage, ConcurrentTransfersConserveAcrossCrash) {
         auto from = rng.next_bounded(kAccounts);
         auto to = rng.next_bounded(kAccounts);
         if (from == to) continue;
-        medley::run_tx(mgr, [&] {
+        medley::execute_tx(mgr, [&] {
           auto vf = m.get(from);
           auto vt = m.get(to);
           if (!vf || *vf == 0) mgr.txAbort();

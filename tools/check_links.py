@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Docs-consistency check: every relative markdown link must resolve.
+
+Usage: tools/check_links.py FILE.md [FILE.md ...]
+
+Scans each given markdown file for inline links/images `[text](target)`
+and reference definitions `[label]: target`, and fails (exit 1) if a
+relative target does not exist on disk, so a renamed header file or a
+deleted doc can't silently rot README/ARCHITECTURE/PAPER/ROADMAP.
+
+Deliberately dependency-free (stdlib only — CI just needs python3) and
+conservative:
+  - external links (http/https/mailto) are skipped, not fetched;
+  - pure-anchor links (#section) are skipped — anchors move too easily
+    for an offline checker to be authoritative about them;
+  - a target's own trailing #anchor / ?query is stripped before the
+    existence check;
+  - fenced code blocks are ignored (code samples legitimately contain
+    `[i](j)`-shaped text).
+"""
+
+import os
+import re
+import sys
+
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def targets(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in INLINE.finditer(line):
+                yield lineno, m.group(1)
+            m = REFDEF.match(line)
+            if m:
+                yield lineno, m.group(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    bad = 0
+    for md in argv[1:]:
+        if not os.path.exists(md):
+            print(f"MISSING FILE {md}")
+            bad += 1
+            continue
+        base = os.path.dirname(os.path.abspath(md))
+        for lineno, t in targets(md):
+            if t.startswith(("http://", "https://", "mailto:")):
+                continue
+            if t.startswith("#"):
+                continue
+            local = t.split("#", 1)[0].split("?", 1)[0]
+            if not local:
+                continue
+            if not os.path.exists(os.path.join(base, local)):
+                print(f"{md}:{lineno}: broken link -> {t}")
+                bad += 1
+    if bad:
+        print(f"{bad} broken link(s)")
+        return 1
+    print(f"ok: {len(argv) - 1} file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
