@@ -36,7 +36,17 @@
 //                         (commit-exact per-shard key counts), making the
 //                         insert-tail skew of workloads D/E — fresh keys
 //                         all land in the LAST range shard — observable
-//                         in the recorded JSON (BENCH_ycsb_range.json).
+//                         in the recorded JSON (BENCH_ycsb_range.json);
+//   MedleyStore-ro / ShardedMedleyStore-{1,4,8}-ro — identical stores
+//                         with StoreConfig::read_only_reads: get/scan run
+//                         as validation-only snapshot transactions (no
+//                         descriptor publication, no read-set tracking).
+//                         Registered for the read-heavy mixes B/C only —
+//                         the read-path ablation (BENCH_ycsb_readonly.json);
+//   RawHash             — an untracked MichaelHashTable probed outside any
+//                         transaction: the floor a YCSB-C read can ever
+//                         reach. The read-only mode's acceptance bar is
+//                         staying within ~2x of this row.
 //
 // Output is google-benchmark JSON in the same shape as the figure benches:
 // items_per_second = committed store operations/s; aborts_per_tx and
@@ -185,9 +195,10 @@ void ycsb_op(StoreT& store, bool feed_on, medley::util::Xoshiro256& rng,
   }
 }
 
-template <bool kFeed>
+template <bool kFeed, bool kRO = false>
 struct MedleyStoreAdapter {
   static const char* name() {
+    if constexpr (kRO) return "MedleyStore-ro";
     return kFeed ? "MedleyStore" : "MedleyStore-nofeed";
   }
   static constexpr std::uint64_t kInsertWrap = 0;  // DRAM: unbounded
@@ -197,8 +208,9 @@ struct MedleyStoreAdapter {
   std::atomic<std::uint64_t> next_insert{0}, max_key{0};
 
   void setup(const YcsbScale& sc) {
-    store = std::make_unique<DramStoreU64>(
-        &mgr, ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/kFeed});
+    ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/kFeed};
+    cfg.read_only_reads = kRO;
+    store = std::make_unique<DramStoreU64>(&mgr, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
     if (kFeed) {
       while (!store->poll_feed(1024).empty()) {  // preload is not traffic
@@ -242,12 +254,16 @@ void emit_shard_counters(benchmark::State& state, const ShardedStore& store,
       agg_retries + static_cast<double>(cross.retries);
 }
 
-template <int kShards>
+template <int kShards, bool kRO = false>
 struct ShardedStoreAdapter {
   static const char* name() {
-    if constexpr (kShards == 1) return "ShardedMedleyStore-1";
-    if constexpr (kShards == 4) return "ShardedMedleyStore-4";
-    return "ShardedMedleyStore-8";
+    if constexpr (kShards == 1) {
+      return kRO ? "ShardedMedleyStore-1-ro" : "ShardedMedleyStore-1";
+    }
+    if constexpr (kShards == 4) {
+      return kRO ? "ShardedMedleyStore-4-ro" : "ShardedMedleyStore-4";
+    }
+    return kRO ? "ShardedMedleyStore-8-ro" : "ShardedMedleyStore-8";
   }
   static constexpr std::uint64_t kInsertWrap = 0;  // DRAM: unbounded
 
@@ -256,8 +272,9 @@ struct ShardedStoreAdapter {
   std::atomic<std::uint64_t> next_insert{0}, max_key{0};
 
   void setup(const YcsbScale& sc) {
-    store = std::make_unique<Sharded>(
-        kShards, ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/true});
+    ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/true};
+    cfg.read_only_reads = kRO;
+    store = std::make_unique<Sharded>(kShards, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
     while (!store->poll_feed(1024).empty()) {  // preload is not traffic
     }
@@ -365,6 +382,42 @@ struct PersistentStoreAdapter {
   ms::StoreStats::Snapshot stats_mine() const { return store->stats_mine(); }
 };
 
+/// The read-path floor: Michael hash table probed with no transaction
+/// open — nbtcLoad's null-ctx fast path, no descriptor, no read logging,
+/// no validation. Not a store (no secondary index, no feed); it exists
+/// purely as the denominator for the read-only mode's "within ~2x of a
+/// raw lookup" acceptance bar, so it registers only for mixes B/C and
+/// maps B's 5% put straight onto the table.
+struct RawHashAdapter {
+  static const char* name() { return "RawHash"; }
+  static constexpr std::uint64_t kInsertWrap = 0;
+
+  medley::TxManager mgr;
+  std::unique_ptr<medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>
+      table;
+  std::atomic<std::uint64_t> next_insert{0}, max_key{0};
+
+  void setup(const YcsbScale& sc) {
+    table = std::make_unique<
+        medley::ds::MichaelHashTable<std::uint64_t, std::uint64_t>>(
+        &mgr, /*buckets=*/1u << 16);
+    for (std::uint64_t k = 1; k <= sc.records; k++) table->put(k, k);
+    next_insert.store(sc.records + 1);
+    max_key.store(sc.records);
+  }
+
+  void op(medley::util::Xoshiro256& rng, KeyDist& keys, const Mix& mix) {
+    const auto x = static_cast<int>(rng.next_bounded(100));
+    if (x < mix.read_w) {
+      benchmark::DoNotOptimize(table->get(keys.pick(rng, mix)));
+      return;
+    }
+    table->put(keys.pick(rng, mix), rng.next());
+  }
+
+  ms::StoreStats::Snapshot stats_mine() const { return {}; }
+};
+
 template <typename Adapter>
 void run_ycsb_benchmark(benchmark::State& state) {
   Adapter& sys = *mb::SystemHolder<Adapter>::get();
@@ -396,10 +449,16 @@ void run_ycsb_benchmark(benchmark::State& state) {
       benchmark::Counter::kAvgIterations);
 }
 
+/// `only`: optional mix-label filter ("BC" = register B and C rows only)
+/// for read-path systems whose A/D/E/F rows would measure nothing new.
 template <typename Adapter>
-void register_ycsb() {
+void register_ycsb(const char* only = nullptr) {
   const YcsbScale& sc = YcsbScale::get();
   for (std::size_t mi = 0; mi < mixes().size(); mi++) {
+    if (only != nullptr &&
+        std::string(only).find(mixes()[mi].label) == std::string::npos) {
+      continue;
+    }
     std::string name =
         std::string("ycsb/") + Adapter::name() + "/mix:" + mixes()[mi].label;
     auto* b = benchmark::RegisterBenchmark(name.c_str(),
@@ -430,6 +489,13 @@ int main(int argc, char** argv) {
   register_ycsb<RangeShardedStoreAdapter<4>>();
   register_ycsb<RangeShardedStoreAdapter<8>>();
   register_ycsb<PersistentStoreAdapter>();
+  // Read-path ablation (BENCH_ycsb_readonly.json): snapshot-read stores
+  // vs their full-tx twins above, plus the untracked floor. B/C only.
+  register_ycsb<MedleyStoreAdapter<true, true>>("BC");
+  register_ycsb<ShardedStoreAdapter<1, true>>("BC");
+  register_ycsb<ShardedStoreAdapter<4, true>>("BC");
+  register_ycsb<ShardedStoreAdapter<8, true>>("BC");
+  register_ycsb<RawHashAdapter>("BC");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -157,6 +157,12 @@ class BoostedComposable : public Composable {
 
   BoostGuard boostLock(std::uint64_t key) {
     TxManager::ThreadCtx* c = TxManager::active_ctx();
+    if (c != nullptr && c->read_only) {
+      // Boosted operations mutate under semantic locks — there is no
+      // snapshot-read story for them. Treat like any other write in a
+      // read-only transaction: the executor re-runs the body in full.
+      throw core::ReadOnlyViolation();
+    }
     if (c == nullptr) {
       // Standalone operation: block until acquired, release at op end.
       while (!locks_.try_acquire(key)) {

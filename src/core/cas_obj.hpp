@@ -47,6 +47,21 @@ class CASObj {
   T nbtcLoad() {
     TxManager::ThreadCtx* c = TxManager::active_ctx();
     if (c == nullptr) return load();
+    if (c->read_only) {
+      // Read-only mode: no descriptor of ours exists, no peer can doom
+      // us, and arbitration has nothing to arbitrate — resolve foreign
+      // descriptors like a plain load, and note the committed {value,
+      // counter} pair so addToReadSet can log it for the end_ro check.
+      for (;;) {
+        util::U128 u = cell_.vc.load();
+        if (CASCell::holds_desc(u)) {
+          CASCell::desc_of(u)->try_finalize(&cell_, u);
+          continue;
+        }
+        c->note_load(&cell_, u.lo, u.hi, u.lo);
+        return decode(u.lo);
+      }
+    }
     TxDomain::self_abort_check(c);  // doomed? stop wasting work now
     Desc* mine = c->desc;
     for (;;) {
@@ -87,6 +102,18 @@ class CASObj {
   bool nbtcCAS(T expected, T desired, bool lin_pt, bool pub_pt) {
     TxManager::ThreadCtx* c = TxManager::active_ctx();
     if (c == nullptr) return CAS(expected, desired);
+    if (c->read_only) {
+      // A linearizing or publishing CAS is a write: the body was
+      // mis-declared, and the executor re-runs it as a full transaction.
+      if (lin_pt || pub_pt) throw ReadOnlyViolation();
+      // A plain helping CAS (unlinking a node whose removal already
+      // committed — any mark observed after descriptor resolution is a
+      // committed mark) is legal and final exactly as outside any
+      // transaction. It may rewrite a cell the read log already tracks,
+      // in which case validation fails and the fallback re-walks the
+      // cleaned list — same doom the full-transaction path accepts.
+      return CAS(expected, desired);
+    }
     TxDomain::self_abort_check(c);  // doomed? stop wasting work now
     Desc* mine = c->desc;
     const std::uint64_t exp = encode(expected);

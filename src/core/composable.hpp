@@ -39,6 +39,28 @@ class Composable {
     TxManager::ThreadCtx* c = TxManager::active_ctx();
     if (c == nullptr) return;
     const std::uint64_t expected = CASObj<T>::encode(val);
+    if (c->read_only) {
+      // Read-only mode: log the {value, counter} pair locally instead of
+      // in the (never-published) descriptor. Same ring-then-reread logic
+      // as below, minus the own-descriptor clause — a read-only
+      // transaction has no installed writes to overwrite.
+      std::uint64_t lo, hi;
+      if (const auto* r = c->find_recent(obj->cell(), expected)) {
+        lo = r->raw_lo;
+        hi = r->raw_hi;
+      } else {
+        util::U128 u = obj->cell()->vc.load();
+        if (!CASCell::holds_desc(u) && u.lo == expected) {
+          lo = u.lo;
+          hi = u.hi;
+        } else {
+          lo = expected;
+          hi = 1;  // odd counter never matches a committed value state
+        }
+      }
+      c->ro_reads.push_back({obj->cell(), lo, hi});
+      return;
+    }
     std::uint64_t lo, hi;
     if (const auto* r = c->find_recent(obj->cell(), expected)) {
       lo = r->raw_lo;
@@ -106,6 +128,10 @@ class Composable {
   void seedReadSetDedup() {
     TxManager::ThreadCtx* c = TxManager::active_ctx();
     if (c == nullptr) return;
+    if (c->read_only) {
+      for (const auto& r : c->ro_reads) c->dedup_reads.insert(r.cell);
+      return;
+    }
     c->desc->for_each_read(c->begin_status, [c](CASCell* cell) {
       c->dedup_reads.insert(cell);
     });

@@ -29,6 +29,7 @@ using core::CASObj;
 using core::Composable;
 using core::Desc;
 using core::OpStarter;
+using core::ReadOnlyViolation;
 using core::TransactionAborted;
 using core::TxDomain;
 using core::TxManager;

@@ -38,6 +38,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/descriptor.hpp"
@@ -78,6 +79,20 @@ class TransactionAborted : public std::exception {
 
  private:
   AbortReason reason_;
+};
+
+/// Thrown when a transaction declared READ-ONLY attempts a write (a
+/// critical nbtcCAS, or a boosted lock acquisition — anything that would
+/// need the descriptor the read-only mode never published). Deliberately
+/// NOT a TransactionAborted: no existing abort handler may swallow it —
+/// the one legitimate catcher is TxExecutor::execute_ro, which abandons
+/// the read-only attempt (unbilled) and re-runs the body as a full
+/// transaction.
+class ReadOnlyViolation : public std::logic_error {
+ public:
+  ReadOnlyViolation()
+      : std::logic_error(
+            "write attempted inside a read-only Medley transaction") {}
 };
 
 /// One deferred block: pointer plus type-erased deleter.
@@ -159,6 +174,23 @@ struct ThreadCtx {
   std::uint64_t begin_status = 0;  // incarnation at begin
   bool in_tx = false;
   bool spec_interval = false;
+
+  // READ-ONLY transaction mode (TxDomain::begin_ro): no descriptor is
+  // published and no read-set entries are recorded — reads are logged
+  // locally in `ro_reads` and validated exactly once at end_ro (the TDSL
+  // read-only fast path, tdsl_skiplist.hpp do_commit). While this flag is
+  // set, `desc` is STALE (left over from the previous full transaction)
+  // and must not be consulted.
+  bool read_only = false;
+
+  /// One logged read of the read-only mode: the raw {value, counter} pair
+  /// observed. Counters are strictly monotonic, so the pair still being
+  /// in place at validation proves the cell never changed in between.
+  struct RORead {
+    CASCell* cell;
+    std::uint64_t lo, hi;
+  };
+  std::vector<RORead> ro_reads;
 
   // Contention manager of the TxExecutor call currently driving this
   // thread (null when transactions are run by hand). Set around the whole
@@ -281,6 +313,25 @@ class TxDomain {
   /// TransactionAborted on failure.
   void end();
 
+  /// Start a READ-ONLY transaction rooted at `root`: the ctx is armed and
+  /// the EBR guard pinned exactly as begin(), but the descriptor is never
+  /// begun or published — reads log {value, counter} pairs into
+  /// ThreadCtx::ro_reads instead of the descriptor's read set. No nesting.
+  void begin_ro(TxManager* root);
+
+  /// Validate-once commit of the read-only transaction: every logged pair
+  /// must still be in place (counters are monotonic, so equality proves
+  /// the cell never changed since its load — all intervals overlap at the
+  /// moment validation starts, which is the snapshot's serialization
+  /// point). Throws TransactionAborted(Validation) on a torn snapshot.
+  void end_ro();
+
+  /// Close an open read-only transaction without billing a commit or an
+  /// abort: the executor's write-fallback seam (a body that turned out to
+  /// write was mis-declared, not aborted). No-op when the calling thread
+  /// has no open read-only transaction of this domain.
+  void abandon_ro();
+
   /// Abort the given (active, owned-by-caller) transaction context.
   [[noreturn]] void abort(ThreadCtx* c, AbortReason r);
 
@@ -295,6 +346,13 @@ class TxDomain {
   void join(ThreadCtx* c, TxManager* mgr);
 
   void finish_commit(ThreadCtx* c);
+
+  /// Tear down a read-only ctx (compensations reversed, speculative
+  /// allocations to EBR, end hooks fire with `committed`); bills nothing.
+  void close_ro(ThreadCtx* c, bool committed);
+
+  /// Is every pair logged by the read-only transaction still in place?
+  static bool ro_log_valid(ThreadCtx* c);
 
   std::unique_ptr<ThreadCtx> ctxs_[util::ThreadRegistry::kMaxThreads];
   std::unique_ptr<Desc> descs_[util::ThreadRegistry::kMaxThreads];

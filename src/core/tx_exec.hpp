@@ -220,6 +220,16 @@ struct TxPolicy {
   bool retry_capacity = true;
   bool retry_user = false;
 
+  /// Declare bodies read-only: execute() then runs one validation-free
+  /// snapshot attempt first (execute_ro — no descriptor publication, no
+  /// read-set tracking, one validation at the end) and falls back
+  /// transparently to full transactions when the snapshot is torn or the
+  /// body turns out to write. Meant for dedicated read executors (the
+  /// stores build one from StoreConfig::read_only_reads); a store-wide
+  /// policy with this flag would pay a wasted snapshot attempt on every
+  /// mutation.
+  bool read_only = false;
+
   /// Pacing/priority hooks; null = NoOpCM (immediate retry).
   std::shared_ptr<ContentionManager> cm;
 
@@ -292,11 +302,93 @@ class TxExecutor {
   /// policy stops retrying. `body` may call mgr.txAbort() /
   /// txAbortCapacity(); TransactionAborted never escapes this call. A
   /// foreign exception thrown by `body` aborts the open attempt and
-  /// propagates (the transaction is closed, CM notified).
+  /// propagates (the transaction is closed, CM notified). A policy with
+  /// read_only set routes through execute_ro (snapshot attempt first).
   template <typename F>
   auto execute(core::TxManager& mgr, F&& body)
       -> TxResult<std::decay_t<std::invoke_result_t<F&>>> {
     using R = std::decay_t<std::invoke_result_t<F&>>;
+    if (policy_.read_only) return execute_ro(mgr, std::forward<F>(body));
+    return run_full<R>(mgr, body, 0);
+  }
+
+  /// Run `body` once as a READ-ONLY transaction of `mgr` — no descriptor
+  /// publication, no read-set tracking, one validation at txEndRO — and
+  /// fall back transparently to full transactions (run under the policy,
+  /// exactly as execute()) when the snapshot attempt cannot commit:
+  ///
+  ///   ReadOnlyViolation (the body wrote): the attempt is ABANDONED, not
+  ///     aborted — nothing is billed at either the TxStats or the
+  ///     TxManager level and no attempt-budget slot is consumed; a
+  ///     mis-declared body is a mode switch, not contention.
+  ///   TransactionAborted (torn snapshot, or the body's own txAbort):
+  ///     billed once under its reason — the snapshot attempt consumes
+  ///     attempt 0 of the policy budget, and the fallback counts one
+  ///     retry for the mode switch. The policy's per-reason rules apply:
+  ///     a reason it declines to retry is terminal here too.
+  ///
+  /// Either way the whole call bills exactly one logical operation: at
+  /// most one commit, and each attempt exactly once under its outcome.
+  /// Contention-manager hooks do not run around the snapshot attempt
+  /// (there is no descriptor for them to stamp or pace); the fallback
+  /// runs the full hook lifecycle.
+  template <typename F>
+  auto execute_ro(core::TxManager& mgr, F&& body)
+      -> TxResult<std::decay_t<std::invoke_result_t<F&>>> {
+    using R = std::decay_t<std::invoke_result_t<F&>>;
+    TxResult<R> res;
+    std::uint64_t attempts_used = 0;
+    try {
+      mgr.txBeginRO();
+      if constexpr (std::is_void_v<R>) {
+        body();
+      } else {
+        res.value = body();
+      }
+      mgr.txEndRO();
+      res.stats.commits = 1;
+      return res;
+    } catch (const core::ReadOnlyViolation&) {
+      mgr.txAbandonRO();
+      if constexpr (!std::is_void_v<R>) res.value.reset();
+    } catch (const core::TransactionAborted& e) {
+      if constexpr (!std::is_void_v<R>) res.value.reset();
+      switch (e.reason()) {
+        case core::AbortReason::Conflict: res.stats.conflict_aborts++; break;
+        case core::AbortReason::Validation:
+          res.stats.validation_aborts++;
+          break;
+        case core::AbortReason::Capacity: res.stats.capacity_aborts++; break;
+        case core::AbortReason::User: res.stats.user_aborts++; break;
+      }
+      const bool budget_left = policy_.max_attempts == 0 ||
+                               policy_.max_attempts > 1;
+      if (!policy_.retries(e.reason()) || !budget_left) {
+        res.terminal = e.reason();
+        return res;
+      }
+      res.stats.retries++;
+      attempts_used = 1;
+    } catch (...) {
+      // Foreign exception out of the body: close the open snapshot
+      // attempt (unbilled) and propagate.
+      mgr.txAbandonRO();
+      throw;
+    }
+    auto full = run_full<R>(mgr, body, attempts_used);
+    res.stats += full.stats;
+    res.terminal = full.terminal;
+    if constexpr (!std::is_void_v<R>) res.value = std::move(full.value);
+    return res;
+  }
+
+ private:
+  /// The full-transaction retry loop (the historical execute()), with the
+  /// attempt counter starting at `attempts_used` so a preceding snapshot
+  /// attempt consumes its slot of the policy budget.
+  template <typename R, typename F>
+  TxResult<R> run_full(core::TxManager& mgr, F& body,
+                       std::uint64_t attempts_used) {
     TxResult<R> res;
     ContentionManager& manager = cm();
     core::ThreadCtx* ctx = mgr.domain()->my_ctx();
@@ -305,7 +397,7 @@ class TxExecutor {
     // lock wait); restored whichever way the call ends.
     ContentionManager* prev_cm = ctx->cm;
     ctx->cm = &manager;
-    for (std::uint64_t attempt = 0;; attempt++) {
+    for (std::uint64_t attempt = attempts_used;; attempt++) {
       bool opened = false;
       try {
         mgr.txBegin();
@@ -359,7 +451,6 @@ class TxExecutor {
     }
   }
 
- private:
   TxPolicy policy_;
 };
 

@@ -85,6 +85,28 @@ class TxManager {
     domain_->end();
   }
 
+  /// Start a READ-ONLY transaction rooted at this manager: no descriptor
+  /// is published and no read-set entries are recorded — reads log local
+  /// {value, counter} pairs, validated exactly once at txEndRO (the TDSL
+  /// read-only fast path; see tx_domain.hpp). Any write attempt inside
+  /// (a critical nbtcCAS, a boosted lock) throws ReadOnlyViolation, which
+  /// TxExecutor::execute_ro converts into a full-transaction rerun.
+  void txBeginRO() { domain_->begin_ro(this); }
+
+  /// Validate-once commit of a read-only transaction; throws
+  /// TransactionAborted(Validation) when the snapshot is torn. Must be
+  /// called on the transaction's ROOT manager, like txEnd.
+  void txEndRO() {
+    require_rooted_here("txEndRO");
+    domain_->end_ro();
+  }
+
+  /// Close an open read-only transaction without billing a commit or an
+  /// abort — the executor's write-fallback seam (a mis-declared body is a
+  /// mode switch, not an abort). No-op when the calling thread has no
+  /// open read-only transaction of this domain.
+  void txAbandonRO() { domain_->abandon_ro(); }
+
   /// Explicitly abort; always throws TransactionAborted(User).
   [[noreturn]] void txAbort() { abort_active(AbortReason::User); }
 

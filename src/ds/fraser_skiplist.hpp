@@ -59,7 +59,18 @@ class FraserSkiplist : public core::Composable {
     return res;
   }
 
-  bool contains(const K& k) { return get(k).has_value(); }
+  /// Existence-only probe: same linearizing evidence as get() (the
+  /// level-0 witness link joins the read set) without copying the value.
+  bool contains(const K& k) {
+    OpStarter op(mgr);
+    Pos pos;
+    if (find(pos, k)) {
+      addToReadSet(&pos.succs[0]->next[0], pos.succ0_next);
+      return true;
+    }
+    addToReadSet(&pos.preds[0]->next[0], pos.succs[0]);
+    return false;
+  }
 
   bool insert(const K& k, const V& v) {
     OpStarter op(mgr);

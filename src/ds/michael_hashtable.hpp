@@ -69,7 +69,20 @@ class MichaelHashTable : public core::Composable {
     return res;
   }
 
-  bool contains(const K& k) { return get(k).has_value(); }
+  /// Existence-only probe: identical linearization evidence to get() —
+  /// the witnessing bucket link joins the read set — but the value is
+  /// never materialized, so a contains over a large V copies nothing.
+  bool contains(const K& k) {
+    OpStarter op(mgr);
+    CASObj<Node*>* prev;
+    Node *curr, *next;
+    if (find(prev, curr, next, k)) {
+      addToReadSet(&curr->next, next);
+      return true;
+    }
+    addToReadSet(prev, curr);
+    return false;
+  }
 
   /// Insert iff absent. Returns false (and registers the read evidence)
   /// when the key already exists.

@@ -43,7 +43,13 @@ class TxMontageMap {
     return (*blk)->val;
   }
 
-  bool contains(std::uint64_t k) { return get(k).has_value(); }
+  /// Existence-only probe: the index's own contains never loads the
+  /// payload block, so no persistent value is materialized just to be
+  /// dropped.
+  bool contains(std::uint64_t k) {
+    EpochSys::OpGuard g(es_);
+    return index_.contains(k);
+  }
 
   bool insert(std::uint64_t k, std::uint64_t v) {
     EpochSys::OpGuard g(es_);

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -78,6 +79,9 @@ struct StoreConfig {
   /// One poll_feed transaction's drain clamp (≤ kMaxFeedDrainPerTx, which
   /// it defaults to; see that constant for the Capacity-abort-spin this
   /// prevents). Lower it to bound poll latency / feed burst size.
+  /// Validated at store construction: 0 throws (it would silently make
+  /// poll_feed a permanent no-op), anything above kMaxFeedDrainPerTx is
+  /// clamped to it — config() reports the clamped, effective value.
   std::size_t feed_drain_per_tx = kMaxFeedDrainPerTx;
 
   /// Execution policy for the store's top-level transactions: retry rules
@@ -86,7 +90,34 @@ struct StoreConfig {
   /// historical run_tx behavior. A store with a bounded policy surfaces
   /// budget exhaustion by rethrowing the terminal TransactionAborted.
   TxPolicy tx_policy{};
+
+  /// Serve top-level get/contains/range/scan as READ-ONLY transactions
+  /// (TxExecutor::execute_ro): no descriptor publication, no read-set
+  /// tracking, one validation at the end, with a transparent full-
+  /// transaction fallback on a torn snapshot. Off by default — the full
+  /// path is the historical behavior and the fallback's extra attempt
+  /// shows up in stats; read-dominated deployments (YCSB B/C/D) turn it
+  /// on. Ambient transactions are unaffected: a store op inside an open
+  /// transaction always flat-nests into it, whatever its mode.
+  bool read_only_reads = false;
 };
+
+/// Construction-time validation of a StoreConfig (shared by
+/// BasicMedleyStore and ShardedStoreBase): feed_drain_per_tx = 0 throws —
+/// it would silently turn poll_feed into a permanent no-op — and values
+/// above kMaxFeedDrainPerTx clamp to it (the documented contract; the
+/// ceiling exists so a drain can never deterministically Capacity-abort).
+inline StoreConfig validated(StoreConfig cfg) {
+  if (cfg.feed_drain_per_tx == 0) {
+    throw std::invalid_argument(
+        "StoreConfig::feed_drain_per_tx must be > 0 (0 would make "
+        "poll_feed a permanent no-op; disable the feed with feed_enabled "
+        "instead)");
+  }
+  cfg.feed_drain_per_tx =
+      std::min(cfg.feed_drain_per_tx, kMaxFeedDrainPerTx);
+  return cfg;
+}
 
 template <typename K, typename V, typename Primary, typename Secondary>
 class BasicMedleyStore : public core::Composable {
@@ -101,7 +132,7 @@ class BasicMedleyStore : public core::Composable {
       : Composable(mgr),
         primary_(primary),
         secondary_(secondary),
-        cfg_(cfg),
+        cfg_(validated(cfg)),
         exec_(cfg.tx_policy),
         feed_(mgr) {}
 
@@ -109,11 +140,18 @@ class BasicMedleyStore : public core::Composable {
 
   std::optional<V> get(const K& k) {
     std::optional<V> res;
-    exec([&] { res = primary_->get(k); });
+    exec_ro([&] { res = primary_->get(k); });
     return res;
   }
 
-  bool contains(const K& k) { return get(k).has_value(); }
+  /// Existence probe. Unlike get(), never materializes the value: the
+  /// primary's existence-only lookup registers just the witnessing bucket
+  /// link, so a contains over a large value type copies nothing.
+  bool contains(const K& k) {
+    bool res = false;
+    exec_ro([&] { res = primary_->contains(k); });
+    return res;
+  }
 
   /// Insert-or-replace; returns the previous value if any.
   std::optional<V> put(const K& k, const V& v) {
@@ -161,14 +199,14 @@ class BasicMedleyStore : public core::Composable {
   /// Atomic snapshot of all entries with lo <= key <= hi, ascending.
   std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
     std::vector<std::pair<K, V>> out;
-    exec([&] { out = secondary_->range(lo, hi); });
+    exec_ro([&] { out = secondary_->range(lo, hi); });
     return out;
   }
 
   /// Atomic snapshot of up to `limit` entries with key >= lo, ascending.
   std::vector<std::pair<K, V>> scan(const K& lo, std::size_t limit) {
     std::vector<std::pair<K, V>> out;
-    exec([&] { out = secondary_->scan(lo, limit); });
+    exec_ro([&] { out = secondary_->scan(lo, limit); });
     return out;
   }
 
@@ -190,8 +228,9 @@ class BasicMedleyStore : public core::Composable {
   /// Capacity-abort-spin the clamp prevents) — drain loops just call
   /// again.
   std::vector<FeedItem> poll_feed(std::size_t max_entries) {
-    max_entries = std::min(
-        max_entries, std::min(cfg_.feed_drain_per_tx, kMaxFeedDrainPerTx));
+    // cfg_ is construction-validated: feed_drain_per_tx is non-zero and
+    // already clamped to kMaxFeedDrainPerTx.
+    max_entries = std::min(max_entries, cfg_.feed_drain_per_tx);
     std::vector<FeedItem> out;
     exec([&] {
       out.clear();
@@ -235,6 +274,28 @@ class BasicMedleyStore : public core::Composable {
       return;
     }
     auto res = exec_.execute(*mgr, std::forward<Body>(body));
+    stats_.record(res.stats);
+    rethrow_failed_non_user(res);
+  }
+
+  /// exec() for bodies declared read-only (get/contains/range/scan): with
+  /// StoreConfig::read_only_reads set, a top-level call takes the
+  /// executor's validation-free snapshot path (execute_ro) and falls back
+  /// transparently to a full transaction on a torn snapshot; with the
+  /// knob off it is exactly exec(). An ambient transaction flat-nests
+  /// either way — the enclosing transaction's mode governs, and under an
+  /// enclosing READ-ONLY transaction the body's reads join its log.
+  template <typename Body>
+  void exec_ro(Body&& body) {
+    if (mgr->in_tx()) {
+      body();
+      return;
+    }
+    if (!cfg_.read_only_reads) {
+      exec(std::forward<Body>(body));
+      return;
+    }
+    auto res = exec_.execute_ro(*mgr, std::forward<Body>(body));
     stats_.record(res.stats);
     rethrow_failed_non_user(res);
   }

@@ -211,7 +211,7 @@ class RangeShardedMedleyStore
     const auto [s0, s1] = part_.shard_span(lo, hi);
     if (s0 == s1) return shards_[s0].store->range(lo, hi);
     std::vector<std::pair<K, V>> out;
-    this->cross_exec([&] {
+    this->cross_exec_ro([&] {
       out.clear();
       for (std::size_t i = s0; i <= s1; i++) {
         auto run = shards_[i].store->range(lo, hi);
@@ -236,7 +236,7 @@ class RangeShardedMedleyStore
     const std::size_t s0 = part_.shard_of(lo);
     if (s0 + 1 == n) return shards_[s0].store->scan(lo, limit);
     std::vector<std::pair<K, V>> out;
-    this->cross_exec([&] {
+    this->cross_exec_ro([&] {
       out.clear();
       for (std::size_t i = s0; i < n && out.size() < limit; i++) {
         auto run = shards_[i].store->scan(lo, limit - out.size());

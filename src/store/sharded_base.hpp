@@ -161,16 +161,15 @@ class ShardedStoreBase {
   std::vector<FeedItem> poll_feed(std::size_t max_entries) {
     const std::size_t n = shards_.size();
     if (n == 1) return shards_[0].store->poll_feed(max_entries);
-    // Clamp one transaction's drain to StoreConfig::feed_drain_per_tx,
-    // itself capped by kMaxFeedDrainPerTx (basic_store.hpp): every pop
-    // costs a descriptor write entry (the dequeue CAS) and, in the merge,
-    // a read entry (the re-peek of that head). An unclamped
-    // poll_feed(10'000) over deep feeds would deterministically
-    // Capacity-abort — which the retry policy treats as transient — and
-    // spin. "Up to max_entries" permits returning fewer; drain loops just
-    // call again.
-    max_entries = std::min(
-        max_entries, std::min(cfg_.feed_drain_per_tx, kMaxFeedDrainPerTx));
+    // Clamp one transaction's drain to StoreConfig::feed_drain_per_tx
+    // (construction-validated: non-zero, capped by kMaxFeedDrainPerTx —
+    // basic_store.hpp): every pop costs a descriptor write entry (the
+    // dequeue CAS) and, in the merge, a read entry (the re-peek of that
+    // head). An unclamped poll_feed(10'000) over deep feeds would
+    // deterministically Capacity-abort — which the retry policy treats as
+    // transient — and spin. "Up to max_entries" permits returning fewer;
+    // drain loops just call again.
+    max_entries = std::min(max_entries, cfg_.feed_drain_per_tx);
     std::vector<FeedItem> out;
     // Per-call scratch, reused across calls (sized by shard count).
     thread_local std::vector<std::optional<FeedItem>> heads;
@@ -283,15 +282,17 @@ class ShardedStoreBase {
 
   explicit ShardedStoreBase(std::size_t nshards, StoreConfig cfg = {})
       : domain_(std::make_shared<core::TxDomain>()),
-        cfg_(cfg),
+        cfg_(validated(cfg)),  // throws on feed_drain_per_tx = 0, clamps
         cross_exec_(cfg.tx_policy) {
     if (nshards == 0) {
       throw std::invalid_argument("sharded store: nshards must be > 0");
     }
     // Split the configured primary capacity across shards (the key space
     // is partitioned, not replicated), with a floor for tiny configs.
-    StoreConfig shard_cfg = cfg;
-    shard_cfg.buckets = std::max<std::size_t>(cfg.buckets / nshards, 64);
+    // Shards start from the validated copy, so every layer agrees on the
+    // effective feed_drain_per_tx.
+    StoreConfig shard_cfg = cfg_;
+    shard_cfg.buckets = std::max<std::size_t>(cfg_.buckets / nshards, 64);
     shards_.reserve(nshards);
     for (std::size_t i = 0; i < nshards; i++) {
       auto mgr = std::make_unique<core::TxManager>(domain_);
@@ -317,6 +318,29 @@ class ShardedStoreBase {
   template <typename Body>
   void cross_exec(Body&& body) {
     (void)transact(std::forward<Body>(body));
+  }
+
+  /// cross_exec() for bodies declared read-only (merged range/scan): with
+  /// StoreConfig::read_only_reads set, the cross-shard transaction takes
+  /// the executor's validation-free snapshot path (execute_ro, rooted at
+  /// shard 0 like every cross-shard transaction) with the transparent
+  /// full-transaction fallback; with the knob off it is exactly
+  /// cross_exec(). Each shard store's ops flat-nest into the ambient
+  /// snapshot, so their reads join one log validated once — the merged
+  /// result is one consistent snapshot across all shards.
+  template <typename Body>
+  void cross_exec_ro(Body&& body) {
+    if (domain_->in_tx()) {  // flat-nest into an ambient transaction
+      body();
+      return;
+    }
+    if (!cfg_.read_only_reads) {
+      cross_exec(std::forward<Body>(body));
+      return;
+    }
+    auto res = cross_exec_.execute_ro(*root_mgr(), std::forward<Body>(body));
+    cross_stats_.record(res.stats);
+    rethrow_failed_non_user(res);
   }
 
   /// If every key lands on one shard, its index.

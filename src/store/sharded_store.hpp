@@ -84,7 +84,7 @@ class ShardedMedleyStore
   std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
     if (shards_.size() == 1) return shards_[0].store->range(lo, hi);
     std::vector<std::vector<std::pair<K, V>>> runs(shards_.size());
-    this->cross_exec([&] {
+    this->cross_exec_ro([&] {
       for (std::size_t i = 0; i < shards_.size(); i++) {
         runs[i] = shards_[i].store->range(lo, hi);
       }
@@ -105,7 +105,7 @@ class ShardedMedleyStore
     if (limit == 0) return {};
     if (n == 1) return shards_[0].store->scan(lo, limit);
     std::vector<std::pair<K, V>> out;
-    this->cross_exec([&] {
+    this->cross_exec_ro([&] {
       out.clear();
       const std::size_t chunk =
           std::min(limit, limit / n + kScanSlack);
