@@ -18,13 +18,24 @@
 // operations. NVM substitution note: the region is DRAM-backed here, so
 // (b) compresses toward (a); the (c)-vs-(b) persistence margin is the
 // honest part (see EXPERIMENTS.md).
+//
+// Tail latency: every individual operation is TSC-timed into a shared
+// TailRecorder (per-thread obs::Histograms, no shared writes in the
+// loop), and the TxOn executors additionally carry the obs wiring in
+// their TxPolicy — latency_hist/attempts_hist — so transaction-level
+// tails come from the executor's own one-rdtsc-pair instrumentation.
+// Thread 0 folds all threads' buckets and attaches
+// {get,insert,remove,tx}_p{50,99,999}_ns (+ attempts_p*) counters to
+// each row; recording the JSON gives BENCH_latency_tail.json. Inside a
+// TxOn body, re-executed ops of aborted attempts are recorded too: that
+// is the latency those operations actually exhibit under retry.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "ds/fraser_skiplist.hpp"
-#include "harness.hpp"
+#include "fig_common.hpp"
 #include "montage/txmontage.hpp"
 #include "plain_skiplist.hpp"
 
@@ -35,19 +46,30 @@ using mb::Ratio;
 
 namespace {
 
+// One recorder per benchmark run (variants execute sequentially);
+// allocated in each Setup, emitted by thread 0, deleted in Teardown.
+mb::TailRecorder* g_tail = nullptr;
+
 template <typename F>
 void run_ops(benchmark::State& state, int ratio_idx, F&& one_op) {
   const Ratio& r = mb::ratios()[static_cast<std::size_t>(ratio_idx)];
   const Config& cfg = Config::get();
   medley::util::Xoshiro256 rng(mb::thread_seed(state));
+  const double scale = mb::TailRecorder::ns_per_tick();
   for (auto _ : state) {
     const std::uint64_t n = mb::tx_size(rng);
     for (std::uint64_t i = 0; i < n; i++) {
       const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-      one_op(mb::pick_op(r, rng), k);
+      const OpKind op = mb::pick_op(r, rng);
+      const std::uint64_t t0 = medley::util::tsc_now();
+      one_op(op, k);
+      const std::uint64_t dt = medley::util::tsc_now() - t0;
+      g_tail->record(op, static_cast<std::uint64_t>(
+                             static_cast<double>(dt) * scale));
     }
   }
   state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) g_tail->emit(state);
 }
 
 // ---- (a) DRAM --------------------------------------------------------
@@ -84,24 +106,40 @@ void bm_txoff(benchmark::State& state) {
           });
 }
 
-void bm_txon(benchmark::State& state) {
+/// Shared TxOn timing loop: per-op TSC timing inside the body (aborted
+/// attempts' re-executions included — that IS the op's retry latency);
+/// transaction-level latency and attempts come from the executor's own
+/// TxPolicy instrumentation, wired to g_tail in the variant's Setup.
+template <typename Exec, typename Mgr, typename Map>
+void run_tx_ops(benchmark::State& state, Exec& exec, Mgr& mgr, Map& map) {
   const Ratio& r = mb::ratios()[static_cast<std::size_t>(state.range(0))];
   const Config& cfg = Config::get();
   medley::util::Xoshiro256 rng(mb::thread_seed(state));
+  const double scale = mb::TailRecorder::ns_per_tick();
   for (auto _ : state) {
     const std::uint64_t n = mb::tx_size(rng);
-    g_medley->exec.execute(g_medley->mgr, [&] {
+    exec.execute(mgr, [&] {
       for (std::uint64_t i = 0; i < n; i++) {
         const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-        switch (mb::pick_op(r, rng)) {
-          case OpKind::Get: g_medley->map->get(k); break;
-          case OpKind::Insert: g_medley->map->insert(k, k); break;
-          case OpKind::Remove: g_medley->map->remove(k); break;
+        const OpKind op = mb::pick_op(r, rng);
+        const std::uint64_t t0 = medley::util::tsc_now();
+        switch (op) {
+          case OpKind::Get: map.get(k); break;
+          case OpKind::Insert: map.insert(k, k); break;
+          case OpKind::Remove: map.remove(k); break;
         }
+        const std::uint64_t dt = medley::util::tsc_now() - t0;
+        g_tail->record(op, static_cast<std::uint64_t>(
+                               static_cast<double>(dt) * scale));
       }
     });
   }
   state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) g_tail->emit(state);
+}
+
+void bm_txon(benchmark::State& state) {
+  run_tx_ops(state, g_medley->exec, g_medley->mgr, *g_medley->map);
 }
 
 // ---- (b)/(c) payloads in the persistent region ------------------------
@@ -116,7 +154,7 @@ struct MontageSkip {
   std::unique_ptr<medley::montage::TxMontageSkiplist> map;
   bool advancer = false;
 
-  void setup(bool persist_on) {
+  void setup(bool persist_on, mb::TailRecorder* tail) {
     std::remove("/tmp/medley_bench_fig10.img");
     region = std::make_unique<medley::montage::PRegion>(
         "/tmp/medley_bench_fig10.img",
@@ -128,6 +166,15 @@ struct MontageSkip {
     mb::preload(Config::get(), [&](std::uint64_t k) {
       return *exec.execute(mgr, [&] { return map->insert(k, k); }).value;
     });
+    // Wire the obs instrumentation AFTER the preload so the preload's
+    // transactions don't pollute the recorded tails.
+    if (tail != nullptr) {
+      medley::TxPolicy p =
+          medley::TxPolicy::with(std::make_shared<medley::ExpBackoffCM>());
+      p.latency_hist = tail->tx_hist();
+      p.attempts_hist = tail->attempts_hist();
+      exec = medley::TxExecutor(p);
+    }
     advancer = persist_on;
     if (persist_on) es->start_advancer(10);
   }
@@ -153,23 +200,7 @@ void bm_nvm_txoff(benchmark::State& state) {
 }
 
 void bm_nvm_txon(benchmark::State& state) {
-  const Ratio& r = mb::ratios()[static_cast<std::size_t>(state.range(0))];
-  const Config& cfg = Config::get();
-  medley::util::Xoshiro256 rng(mb::thread_seed(state));
-  for (auto _ : state) {
-    const std::uint64_t n = mb::tx_size(rng);
-    g_montage->exec.execute(g_montage->mgr, [&] {
-      for (std::uint64_t i = 0; i < n; i++) {
-        const std::uint64_t k = rng.next_bounded(cfg.keyspace) + 1;
-        switch (mb::pick_op(r, rng)) {
-          case OpKind::Get: g_montage->map->get(k); break;
-          case OpKind::Insert: g_montage->map->insert(k, k); break;
-          case OpKind::Remove: g_montage->map->remove(k); break;
-        }
-      }
-    });
-  }
-  state.SetItemsProcessed(state.iterations());
+  run_tx_ops(state, g_montage->exec, g_montage->mgr, *g_montage->map);
 }
 
 void register_all() {
@@ -192,9 +223,14 @@ void register_all() {
     }
   };
 
+  // Every Setup allocates the recorder first (and pre-calibrates the TSC
+  // scale, keeping it off the timed loop); Teardown deletes the adapter
+  // BEFORE the recorder because TxOn executors point into it.
   reg(
       "dram/Original", bm_original,
       [](const benchmark::State&) {
+        g_tail = new mb::TailRecorder();
+        mb::TailRecorder::ns_per_tick();
         g_plain = new mb::PlainSkiplist<std::uint64_t, std::uint64_t>();
         mb::preload(Config::get(),
                     [&](std::uint64_t k) { return g_plain->insert(k, k); });
@@ -202,10 +238,14 @@ void register_all() {
       [](const benchmark::State&) {
         delete g_plain;
         g_plain = nullptr;
+        delete g_tail;
+        g_tail = nullptr;
       });
   reg(
       "dram/TxOff", bm_txoff,
       [](const benchmark::State&) {
+        g_tail = new mb::TailRecorder();
+        mb::TailRecorder::ns_per_tick();
         g_medley = new MedleySkip();
         g_medley->map = std::make_unique<
             medley::ds::FraserSkiplist<std::uint64_t, std::uint64_t>>(
@@ -217,10 +257,14 @@ void register_all() {
       [](const benchmark::State&) {
         delete g_medley;
         g_medley = nullptr;
+        delete g_tail;
+        g_tail = nullptr;
       });
   reg(
       "dram/TxOn", bm_txon,
       [](const benchmark::State&) {
+        g_tail = new mb::TailRecorder();
+        mb::TailRecorder::ns_per_tick();
         g_medley = new MedleySkip();
         g_medley->map = std::make_unique<
             medley::ds::FraserSkiplist<std::uint64_t, std::uint64_t>>(
@@ -228,50 +272,73 @@ void register_all() {
         mb::preload(Config::get(), [&](std::uint64_t k) {
           return g_medley->map->insert(k, k);
         });
+        // Transaction-level tails via the executor's own instrumentation.
+        medley::TxPolicy p;
+        p.latency_hist = g_tail->tx_hist();
+        p.attempts_hist = g_tail->attempts_hist();
+        g_medley->exec = medley::TxExecutor(p);
       },
       [](const benchmark::State&) {
         delete g_medley;
         g_medley = nullptr;
+        delete g_tail;
+        g_tail = nullptr;
       });
   reg(
       "nvm-off/TxOff", bm_nvm_txoff,
       [](const benchmark::State&) {
+        g_tail = new mb::TailRecorder();
+        mb::TailRecorder::ns_per_tick();
         g_montage = new MontageSkip();
-        g_montage->setup(/*persist_on=*/false);
+        g_montage->setup(/*persist_on=*/false, nullptr);
       },
       [](const benchmark::State&) {
         delete g_montage;
         g_montage = nullptr;
+        delete g_tail;
+        g_tail = nullptr;
       });
   reg(
       "nvm-off/TxOn", bm_nvm_txon,
       [](const benchmark::State&) {
+        g_tail = new mb::TailRecorder();
+        mb::TailRecorder::ns_per_tick();
         g_montage = new MontageSkip();
-        g_montage->setup(/*persist_on=*/false);
+        g_montage->setup(/*persist_on=*/false, g_tail);
       },
       [](const benchmark::State&) {
         delete g_montage;
         g_montage = nullptr;
+        delete g_tail;
+        g_tail = nullptr;
       });
   reg(
       "persist-on/TxOff", bm_nvm_txoff,
       [](const benchmark::State&) {
+        g_tail = new mb::TailRecorder();
+        mb::TailRecorder::ns_per_tick();
         g_montage = new MontageSkip();
-        g_montage->setup(/*persist_on=*/true);
+        g_montage->setup(/*persist_on=*/true, nullptr);
       },
       [](const benchmark::State&) {
         delete g_montage;
         g_montage = nullptr;
+        delete g_tail;
+        g_tail = nullptr;
       });
   reg(
       "persist-on/TxOn", bm_nvm_txon,
       [](const benchmark::State&) {
+        g_tail = new mb::TailRecorder();
+        mb::TailRecorder::ns_per_tick();
         g_montage = new MontageSkip();
-        g_montage->setup(/*persist_on=*/true);
+        g_montage->setup(/*persist_on=*/true, g_tail);
       },
       [](const benchmark::State&) {
         delete g_montage;
         g_montage = nullptr;
+        delete g_tail;
+        g_tail = nullptr;
       });
 }
 

@@ -54,6 +54,15 @@
 //
 // Scale: default is the CI scale; MEDLEY_PAPER=1 for paper scale;
 // MEDLEY_YCSB_SMOKE=1 for the CI smoke step (tiny key space, 2 threads).
+//
+// Observability: rows always carry per-reason abort rates
+// (aborts_{conflict,validation,capacity,user}_per_tx, exact per-thread
+// StoreStats deltas). MEDLEY_YCSB_METRICS=1 additionally turns on
+// StoreConfig::metrics in every store adapter (the overhead A/B knob for
+// the paired metrics-on/off acceptance runs), and with MEDLEY_METRICS_OUT
+// set, each store's Prometheus exposition is written there at teardown
+// (last store wins — the file is a valid single exposition either way),
+// which is what CI pipes through tools/check_metrics.py.
 
 #include <benchmark/benchmark.h>
 
@@ -74,6 +83,25 @@ namespace ms = medley::store;
 using DramStoreU64 = ms::MedleyStore<std::uint64_t, std::uint64_t>;
 
 namespace {
+
+/// MEDLEY_YCSB_METRICS=1: run every store with the metrics registry on.
+bool ycsb_metrics_on() {
+  static const bool on = [] {
+    const char* v = std::getenv("MEDLEY_YCSB_METRICS");
+    return v != nullptr && v[0] == '1';
+  }();
+  return on;
+}
+
+/// With MEDLEY_METRICS_OUT set, persist a store's exposition at teardown.
+void maybe_dump_metrics(const std::string& text) {
+  const char* path = std::getenv("MEDLEY_METRICS_OUT");
+  if (path == nullptr || text.empty()) return;
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+}
 
 constexpr double kZipfTheta = 0.99;     // the YCSB default
 constexpr std::uint64_t kLatestWindow = 1024;  // D's "recent keys" horizon
@@ -210,6 +238,7 @@ struct MedleyStoreAdapter {
   void setup(const YcsbScale& sc) {
     ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/kFeed};
     cfg.read_only_reads = kRO;
+    cfg.metrics = ycsb_metrics_on();
     store = std::make_unique<DramStoreU64>(&mgr, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
     if (kFeed) {
@@ -274,6 +303,7 @@ struct ShardedStoreAdapter {
   void setup(const YcsbScale& sc) {
     ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/true};
     cfg.read_only_reads = kRO;
+    cfg.metrics = ycsb_metrics_on();
     store = std::make_unique<Sharded>(kShards, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
     while (!store->poll_feed(1024).empty()) {  // preload is not traffic
@@ -314,9 +344,9 @@ struct RangeShardedStoreAdapter {
     std::vector<std::uint64_t> seed;
     const std::uint64_t step = std::max<std::uint64_t>(sc.records / 4096, 1);
     for (std::uint64_t k = 1; k <= sc.records; k += step) seed.push_back(k);
-    store = std::make_unique<RangeSharded>(
-        kShards, seed,
-        ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/true});
+    ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/true};
+    cfg.metrics = ycsb_metrics_on();
+    store = std::make_unique<RangeSharded>(kShards, seed, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
     while (!store->poll_feed(1024).empty()) {  // preload is not traffic
     }
@@ -356,9 +386,10 @@ struct PersistentStoreAdapter {
         path, sc.records * 4 + kInsertWrap * 2 + (1u << 17));
     es = std::make_unique<medley::montage::EpochSys>(region.get());
     es->attach(&mgr);
-    store = std::make_unique<ms::PersistentMedleyStore>(
-        &mgr, es.get(), /*sid=*/1,
-        ms::StoreConfig{/*buckets=*/1u << 16, /*feed_enabled=*/true});
+    ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/true};
+    cfg.metrics = ycsb_metrics_on();
+    store = std::make_unique<ms::PersistentMedleyStore>(&mgr, es.get(),
+                                                        /*sid=*/1, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
     while (!store->poll_feed(1024).empty()) {
     }
@@ -447,6 +478,21 @@ void run_ycsb_benchmark(benchmark::State& state) {
   state.counters["retries_per_tx"] = benchmark::Counter(
       static_cast<double>(after.retries - before.retries),
       benchmark::Counter::kAvgIterations);
+  // Per-reason abort rates (same exact per-thread deltas): conflict is
+  // descriptor arbitration, validation the read-only/read-set check,
+  // capacity a full write set or exhausted region, user explicit txAbort.
+  const auto reason_rate = [&](std::uint64_t a, std::uint64_t b) {
+    return benchmark::Counter(static_cast<double>(a - b),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["aborts_conflict_per_tx"] =
+      reason_rate(after.conflict_aborts, before.conflict_aborts);
+  state.counters["aborts_validation_per_tx"] =
+      reason_rate(after.validation_aborts, before.validation_aborts);
+  state.counters["aborts_capacity_per_tx"] =
+      reason_rate(after.capacity_aborts, before.capacity_aborts);
+  state.counters["aborts_user_per_tx"] =
+      reason_rate(after.user_aborts, before.user_aborts);
 }
 
 /// `only`: optional mix-label filter ("BC" = register B and C rows only)
@@ -470,7 +516,11 @@ void register_ycsb(const char* only = nullptr) {
       slot->setup(YcsbScale::get());
     });
     b->Teardown([](const benchmark::State&) {
-      mb::SystemHolder<Adapter>::get().reset();
+      auto& slot = mb::SystemHolder<Adapter>::get();
+      if constexpr (requires { slot->store->dump_metrics(); }) {
+        if (slot) maybe_dump_metrics(slot->store->dump_metrics());
+      }
+      slot.reset();
     });
     b->UseRealTime();
     b->MinTime(sc.min_time);

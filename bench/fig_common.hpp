@@ -15,8 +15,64 @@
 #include <string>
 
 #include "harness.hpp"
+#include "obs/histogram.hpp"
+#include "util/timing.hpp"
 
 namespace medley::bench {
+
+/// Tail-latency recorder for the figure benches: one mergeable per-thread
+/// obs::Histogram per op kind, one for whole transactions and one for
+/// attempts-per-transaction. Threads record with zero shared writes (the
+/// histogram's per-thread slots); after its timing loop, thread 0 folds
+/// every thread's buckets and attaches p50/p99/p999 counters to the row —
+/// which is how the tails land in the google-benchmark JSON
+/// (BENCH_latency_tail.json). tx_hist()/attempts_hist() exist to be wired
+/// straight into a TxPolicy, so the executor's own instrumentation (one
+/// rdtsc pair per transaction) produces the transaction-level tails.
+class TailRecorder {
+ public:
+  /// One individual operation took `ns` nanoseconds end to end.
+  void record(OpKind op, std::uint64_t ns) {
+    hist_[static_cast<std::size_t>(op)].record(ns);
+  }
+
+  /// Wire these into TxPolicy::latency_hist / attempts_hist.
+  obs::Histogram* tx_hist() { return &tx_; }
+  obs::Histogram* attempts_hist() { return &attempts_; }
+
+  /// Thread 0 calls this once, after its own timing loop. Late samples
+  /// from threads still draining their final iterations are the same
+  /// accepted raciness as emit_shard_counters (tails move negligibly).
+  void emit(benchmark::State& state) const {
+    static constexpr const char* kOp[] = {"get", "insert", "remove"};
+    for (std::size_t i = 0; i < 3; i++) {
+      emit_quantiles(state, kOp[i], "_ns", hist_[i].snapshot());
+    }
+    emit_quantiles(state, "tx", "_ns", tx_.snapshot());
+    emit_quantiles(state, "attempts", "", attempts_.snapshot());
+  }
+
+  /// ns per TSC tick, calibrated once — call in setup, never in the loop.
+  static double ns_per_tick() { return util::tsc_ns_per_tick(); }
+
+ private:
+  static void emit_quantiles(benchmark::State& state, const char* name,
+                             const char* unit,
+                             const obs::HistogramSnapshot& s) {
+    if (s.count == 0) return;
+    const std::string base = std::string(name);
+    state.counters[base + "_p50" + unit] =
+        static_cast<double>(s.quantile(0.50));
+    state.counters[base + "_p99" + unit] =
+        static_cast<double>(s.quantile(0.99));
+    state.counters[base + "_p999" + unit] =
+        static_cast<double>(s.quantile(0.999));
+  }
+
+  obs::Histogram hist_[3];  // indexed by OpKind
+  obs::Histogram tx_;
+  obs::Histogram attempts_;
+};
 
 template <typename Adapter>
 class SystemHolder {

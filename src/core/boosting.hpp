@@ -24,6 +24,7 @@
 
 #include "core/composable.hpp"
 #include "core/tx_exec.hpp"
+#include "obs/trace.hpp"
 #include "util/align.hpp"
 #include "util/backoff.hpp"
 #include "util/thread_registry.hpp"
@@ -178,6 +179,11 @@ class BoostedComposable : public Composable {
         c->cm != nullptr
             ? locks_.try_acquire(key, kTxMaxSpins,
                                  [&](std::uint64_t spin) {
+                                   // One lifecycle event per contended wait
+                                   // (first failed poll), not per poll.
+                                   if (spin == 0 && c->trace != nullptr)
+                                     c->trace->emit(
+                                         obs::TraceEvent::kLockContended, 1);
                                    c->cm->onLockContended(*c->desc, spin);
                                  })
             : locks_.try_acquire(key, kTxMaxSpins);

@@ -24,6 +24,7 @@
 #include "core/descriptor.hpp"
 #include "core/tx_domain.hpp"
 #include "core/tx_manager.hpp"
+#include "obs/trace.hpp"
 
 namespace medley::core {
 
@@ -85,6 +86,8 @@ class CASObj {
         // Priority arbitration (KarmaCM): a younger managed transaction
         // yields to an older, still-preparing one instead of aborting it.
         if (TxDomain::arbitration_yields(mine, other)) {
+          if (c->trace != nullptr)
+            c->trace->emit(obs::TraceEvent::kArbitrationYield);
           c->domain->abort(c, AbortReason::Conflict);
         }
         other->try_finalize(&cell_, u);
@@ -124,6 +127,8 @@ class CASObj {
         Desc* other = CASCell::desc_of(u);
         if (other != mine) {
           if (TxDomain::arbitration_yields(mine, other)) {
+            if (c->trace != nullptr)
+              c->trace->emit(obs::TraceEvent::kArbitrationYield);
             c->domain->abort(c, AbortReason::Conflict);
           }
           other->try_finalize(&cell_, u);

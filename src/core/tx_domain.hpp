@@ -51,6 +51,10 @@ namespace medley {
 class ContentionManager;  // tx_exec.hpp: retry pacing / priority hooks
 }
 
+namespace medley::obs {
+class TraceRing;  // obs/trace.hpp: per-thread tx-lifecycle event ring
+}
+
 namespace medley::core {
 
 class TxManager;
@@ -197,6 +201,12 @@ struct ThreadCtx {
   // execute() call — NOT cleared by begin() — so intra-attempt hooks
   // (boostLock's semantic-lock wait) see it on every attempt.
   medley::ContentionManager* cm = nullptr;
+
+  // Trace ring of the TxExecutor call currently driving this thread (null
+  // when untraced). Set alongside `cm` for the same reason: intra-attempt
+  // hooks (CASObj conflict arbitration, boostLock's semantic-lock wait)
+  // emit lifecycle events into the same per-thread ring the executor uses.
+  medley::obs::TraceRing* trace = nullptr;
 
   // Managers participating in the current transaction, root first. A
   // manager joins (once) when the first operation of a structure it owns

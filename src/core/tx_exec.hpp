@@ -53,7 +53,10 @@
 #include "core/descriptor.hpp"
 #include "core/tx_domain.hpp"
 #include "core/tx_manager.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "util/backoff.hpp"
+#include "util/timing.hpp"
 
 namespace medley {
 
@@ -233,6 +236,34 @@ struct TxPolicy {
   /// Pacing/priority hooks; null = NoOpCM (immediate retry).
   std::shared_ptr<ContentionManager> cm;
 
+  // ---- Observability (obs/) — all optional, all non-owning. The caller
+  // guarantees the instruments outlive every execute() call under this
+  // policy (the stores own them via their MetricsRegistry / TraceRing and
+  // share one executor per store, so this holds by construction).
+
+  /// End-to-end latency of each execute()/execute_ro() call, recorded in
+  /// nanoseconds (TSC-sampled, scaled by util::tsc_ns_per_tick()).
+  obs::Histogram* latency_hist = nullptr;
+
+  /// Attempts consumed per call (1 = first-try commit). Read-only snapshot
+  /// attempts count; abandoned RO attempts (mis-declared writers) do not,
+  /// mirroring the TxStats billing rules.
+  obs::Histogram* attempts_hist = nullptr;
+
+  /// Tx-lifecycle event ring (begin / attempt / abort / retry / commit /
+  /// RO fallbacks / CM backoff / arbitration yields / boostLock waits).
+  /// Published on the ThreadCtx around every attempt, exactly like `cm`.
+  obs::TraceRing* trace = nullptr;
+
+  /// Record latency/attempts histogram samples for 1 in 2^obs_sample_shift
+  /// calls (0 = every call). The TSC read pair alone costs ~20ns — more
+  /// than 10% of a fast store op — so serving deployments sample (the
+  /// stores default to 1/64 via StoreConfig::metrics_sample_shift) while
+  /// benches recording exact tails keep 0. Quantiles remain unbiased (the
+  /// per-thread call counter has no correlation with latency); counters
+  /// and TxStats are never sampled, and trace emits stay exact.
+  std::uint8_t obs_sample_shift = 0;
+
   bool retries(core::AbortReason r) const {
     switch (r) {
       case core::AbortReason::Conflict: return retry_conflict;
@@ -260,6 +291,12 @@ struct TxPolicy {
   }
 };
 
+/// How an execute_ro() snapshot attempt fell back to a full transaction
+/// (set on the TxResult so stores can count fallback rates without another
+/// clock read): the body turned out to write, or the one-shot snapshot
+/// validation failed.
+enum class ROFallback : std::uint8_t { kWrite, kValidation };
+
 /// Outcome of one TxExecutor::execute call: the body's return value (iff
 /// the transaction committed), the attempt accounting, and — when it did
 /// not commit — the terminal abort reason the policy declined to retry.
@@ -268,6 +305,7 @@ struct TxResult {
   std::optional<T> value;  // engaged iff committed()
   TxStats stats;
   std::optional<core::AbortReason> terminal;
+  std::optional<ROFallback> ro_fallback;  // execute_ro calls only
 
   bool committed() const { return stats.commits != 0; }
   explicit operator bool() const { return committed(); }
@@ -277,6 +315,7 @@ template <>
 struct TxResult<void> {
   TxStats stats;
   std::optional<core::AbortReason> terminal;
+  std::optional<ROFallback> ro_fallback;  // execute_ro calls only
 
   bool committed() const { return stats.commits != 0; }
   explicit operator bool() const { return committed(); }
@@ -309,7 +348,13 @@ class TxExecutor {
       -> TxResult<std::decay_t<std::invoke_result_t<F&>>> {
     using R = std::decay_t<std::invoke_result_t<F&>>;
     if (policy_.read_only) return execute_ro(mgr, std::forward<F>(body));
-    return run_full<R>(mgr, body, 0);
+    const bool sampled = obs_sampled();
+    const std::uint64_t t0 =
+        sampled && policy_.latency_hist ? util::tsc_now() : 0;
+    if (policy_.trace) policy_.trace->emit(obs::TraceEvent::kBegin);
+    auto res = run_full<R>(mgr, body, 0);
+    note_resolved(sampled, t0, res.stats);
+    return res;
   }
 
   /// Run `body` once as a READ-ONLY transaction of `mgr` — no descriptor
@@ -338,6 +383,13 @@ class TxExecutor {
     using R = std::decay_t<std::invoke_result_t<F&>>;
     TxResult<R> res;
     std::uint64_t attempts_used = 0;
+    const bool sampled = obs_sampled();
+    const std::uint64_t t0 =
+        sampled && policy_.latency_hist ? util::tsc_now() : 0;
+    if (policy_.trace) {
+      policy_.trace->emit(obs::TraceEvent::kBegin);
+      policy_.trace->emit(obs::TraceEvent::kROAttempt);
+    }
     try {
       mgr.txBeginRO();
       if constexpr (std::is_void_v<R>) {
@@ -347,10 +399,15 @@ class TxExecutor {
       }
       mgr.txEndRO();
       res.stats.commits = 1;
+      if (policy_.trace) policy_.trace->emit(obs::TraceEvent::kROCommit);
+      note_resolved(sampled, t0, res.stats);
       return res;
     } catch (const core::ReadOnlyViolation&) {
       mgr.txAbandonRO();
       if constexpr (!std::is_void_v<R>) res.value.reset();
+      res.ro_fallback = ROFallback::kWrite;
+      if (policy_.trace)
+        policy_.trace->emit(obs::TraceEvent::kROFallbackWrite);
     } catch (const core::TransactionAborted& e) {
       if constexpr (!std::is_void_v<R>) res.value.reset();
       switch (e.reason()) {
@@ -361,14 +418,25 @@ class TxExecutor {
         case core::AbortReason::Capacity: res.stats.capacity_aborts++; break;
         case core::AbortReason::User: res.stats.user_aborts++; break;
       }
+      if (policy_.trace)
+        policy_.trace->emit(obs::TraceEvent::kAbort,
+                            static_cast<std::uint8_t>(e.reason()), 0);
       const bool budget_left = policy_.max_attempts == 0 ||
                                policy_.max_attempts > 1;
       if (!policy_.retries(e.reason()) || !budget_left) {
         res.terminal = e.reason();
+        if (policy_.trace)
+          policy_.trace->emit(obs::TraceEvent::kGiveUp,
+                              static_cast<std::uint8_t>(e.reason()), 0);
+        note_resolved(sampled, t0, res.stats);
         return res;
       }
       res.stats.retries++;
       attempts_used = 1;
+      res.ro_fallback = ROFallback::kValidation;
+      if (policy_.trace)
+        policy_.trace->emit(obs::TraceEvent::kROFallbackValidation,
+                            static_cast<std::uint8_t>(e.reason()));
     } catch (...) {
       // Foreign exception out of the body: close the open snapshot
       // attempt (unbilled) and propagate.
@@ -379,10 +447,36 @@ class TxExecutor {
     res.stats += full.stats;
     res.terminal = full.terminal;
     if constexpr (!std::is_void_v<R>) res.value = std::move(full.value);
+    note_resolved(sampled, t0, res.stats);
     return res;
   }
 
  private:
+  /// Record end-of-call instruments (latency in ns, attempts consumed).
+  /// Trace events are emitted at the exact transition points instead.
+  void note_resolved(bool sampled, std::uint64_t t0, const TxStats& s) const {
+    if (!sampled) return;
+    if (policy_.latency_hist) {
+      const double ns = static_cast<double>(util::tsc_now() - t0) *
+                        util::tsc_ns_per_tick();
+      policy_.latency_hist->record(
+          ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+    if (policy_.attempts_hist)
+      policy_.attempts_hist->record(s.aborts() + s.commits);
+  }
+
+  /// The 1-in-2^obs_sample_shift histogram-sampling decision for this
+  /// call. The counter is a plain process-wide thread_local (shared by
+  /// every executor — it only needs to be uncorrelated with latency, and
+  /// round-robin over calls is). shift 0 short-circuits to true so
+  /// unsampled policies (benches recording exact tails) pay one branch.
+  bool obs_sampled() const noexcept {
+    if (policy_.obs_sample_shift == 0) return true;
+    static thread_local std::uint32_t calls = 0;
+    return (calls++ & ((1u << policy_.obs_sample_shift) - 1)) == 0;
+  }
+
   /// The full-transaction retry loop (the historical execute()), with the
   /// attempt counter starting at `attempts_used` so a preceding snapshot
   /// attempt consumes its slot of the policy budget.
@@ -391,15 +485,22 @@ class TxExecutor {
                        std::uint64_t attempts_used) {
     TxResult<R> res;
     ContentionManager& manager = cm();
+    obs::TraceRing* trace = policy_.trace;
     core::ThreadCtx* ctx = mgr.domain()->my_ctx();
     core::Desc& d = *ctx->desc;
-    // Publish the manager for intra-attempt hooks (boostLock's semantic
-    // lock wait); restored whichever way the call ends.
+    // Publish the manager and trace ring for intra-attempt hooks
+    // (boostLock's semantic lock wait, CASObj's conflict arbitration);
+    // restored whichever way the call ends.
     ContentionManager* prev_cm = ctx->cm;
+    obs::TraceRing* prev_trace = ctx->trace;
     ctx->cm = &manager;
+    ctx->trace = trace;
     for (std::uint64_t attempt = attempts_used;; attempt++) {
       bool opened = false;
       try {
+        if (trace)
+          trace->emit(obs::TraceEvent::kAttempt, 0,
+                      static_cast<std::uint32_t>(attempt));
         mgr.txBegin();
         opened = true;
         manager.onAttemptStart(d, attempt);
@@ -412,7 +513,11 @@ class TxExecutor {
         res.stats.commits = 1;
         res.terminal.reset();
         ctx->cm = prev_cm;
+        ctx->trace = prev_trace;
         manager.onFinish(d, true);
+        if (trace)
+          trace->emit(obs::TraceEvent::kCommit, 0,
+                      static_cast<std::uint32_t>(attempt + 1));
         return res;
       } catch (const core::TransactionAborted& e) {
         switch (e.reason()) {
@@ -423,22 +528,40 @@ class TxExecutor {
           case core::AbortReason::Capacity: res.stats.capacity_aborts++; break;
           case core::AbortReason::User: res.stats.user_aborts++; break;
         }
+        if (trace)
+          trace->emit(obs::TraceEvent::kAbort,
+                      static_cast<std::uint8_t>(e.reason()),
+                      static_cast<std::uint32_t>(attempt));
         manager.onAbort(d, e.reason(), attempt);
+        if (trace && policy_.cm)
+          trace->emit(obs::TraceEvent::kCMBackoff,
+                      static_cast<std::uint8_t>(e.reason()),
+                      static_cast<std::uint32_t>(attempt));
         const bool budget_left =
             policy_.max_attempts == 0 || attempt + 1 < policy_.max_attempts;
         if (!policy_.retries(e.reason()) || !budget_left) {
           res.terminal = e.reason();
           if constexpr (!std::is_void_v<R>) res.value.reset();
           ctx->cm = prev_cm;
+          ctx->trace = prev_trace;
           manager.onFinish(d, false);
+          if (trace)
+            trace->emit(obs::TraceEvent::kGiveUp,
+                        static_cast<std::uint8_t>(e.reason()),
+                        static_cast<std::uint32_t>(attempt + 1));
           return res;
         }
         res.stats.retries++;
+        if (trace)
+          trace->emit(obs::TraceEvent::kRetry,
+                      static_cast<std::uint8_t>(e.reason()),
+                      static_cast<std::uint32_t>(attempt + 1));
       } catch (...) {
         // Foreign exception out of the body: close the attempt cleanly
         // (roll back speculative state, release boosted locks) and let it
         // propagate to the caller.
         ctx->cm = prev_cm;
+        ctx->trace = prev_trace;
         manager.onFinish(d, false);
         if (opened && mgr.in_tx()) {
           try {

@@ -9,7 +9,8 @@
 //     domain with `this` as the transaction's root manager;
 //   - begin/end hooks (txMontage announces its epoch through these);
 //   - statistics: commits and aborts-by-reason are attributed to the root
-//     manager of each transaction, in per-thread padded slots.
+//     manager of each transaction, in per-thread slots (util::PerThreadSlots:
+//     lazily allocated, leased-tid indexed, cumulative across thread churn).
 //
 // Managers constructed with the default constructor own a private domain,
 // which reproduces the historical one-manager-per-transaction behavior
@@ -29,7 +30,7 @@
 #include <string>
 
 #include "core/tx_domain.hpp"
-#include "util/align.hpp"
+#include "util/per_thread.hpp"
 #include "util/thread_registry.hpp"
 
 namespace medley::core {
@@ -68,8 +69,7 @@ class TxManager {
   /// A manager over a shared domain: transactions may span every manager
   /// sharing it (one descriptor, one commit CAS).
   explicit TxManager(std::shared_ptr<TxDomain> domain)
-      : domain_(std::move(domain)),
-        slots_(new StatsSlot[util::ThreadRegistry::kMaxThreads]) {}
+      : domain_(std::move(domain)) {}
 
   TxManager(const TxManager&) = delete;
   TxManager& operator=(const TxManager&) = delete;
@@ -150,9 +150,7 @@ class TxManager {
   /// billed — one transaction, one bill).
   Stats stats() const {
     Stats agg;
-    const int n = util::ThreadRegistry::max_tid();
-    for (int i = 0; i < n && i < util::ThreadRegistry::kMaxThreads; i++) {
-      const StatsSlot& s = slots_[i];
+    slots_.for_each([&](const StatsSlot& s) {
       agg.commits += s.commits.load(std::memory_order_relaxed);
       agg.conflict_aborts +=
           s.conflict_aborts.load(std::memory_order_relaxed);
@@ -161,7 +159,7 @@ class TxManager {
       agg.capacity_aborts +=
           s.capacity_aborts.load(std::memory_order_relaxed);
       agg.user_aborts += s.user_aborts.load(std::memory_order_relaxed);
-    }
+    });
     agg.aborts = agg.conflict_aborts + agg.validation_aborts +
                  agg.capacity_aborts + agg.user_aborts;
     return agg;
@@ -171,13 +169,13 @@ class TxManager {
   /// rooted here): the owner-thread counter bump is load+store, so a
   /// concurrent reset can be overwritten by an owner's in-flight bump.
   void reset_stats() {
-    for (int i = 0; i < util::ThreadRegistry::kMaxThreads; i++) {
-      slots_[i].commits.store(0, std::memory_order_relaxed);
-      slots_[i].conflict_aborts.store(0, std::memory_order_relaxed);
-      slots_[i].validation_aborts.store(0, std::memory_order_relaxed);
-      slots_[i].capacity_aborts.store(0, std::memory_order_relaxed);
-      slots_[i].user_aborts.store(0, std::memory_order_relaxed);
-    }
+    slots_.for_each_mut([](StatsSlot& s) {
+      s.commits.store(0, std::memory_order_relaxed);
+      s.conflict_aborts.store(0, std::memory_order_relaxed);
+      s.validation_aborts.store(0, std::memory_order_relaxed);
+      s.capacity_aborts.store(0, std::memory_order_relaxed);
+      s.user_aborts.store(0, std::memory_order_relaxed);
+    });
   }
 
   /// This thread's descriptor (tests & internal use).
@@ -207,7 +205,8 @@ class TxManager {
   /// Enlist this manager in the thread's running transaction (idempotent).
   void join_active(ThreadCtx* c) { c->domain->join(c, this); }
 
-  struct alignas(util::kCacheLine) StatsSlot {
+  // No alignas: PerThreadSlots pads each slot to its own cache line.
+  struct StatsSlot {
     std::atomic<std::uint64_t> commits{0};
     std::atomic<std::uint64_t> conflict_aborts{0};
     std::atomic<std::uint64_t> validation_aborts{0};
@@ -238,7 +237,7 @@ class TxManager {
 
   // Single writer per slot (the owner thread); relaxed atomics make
   // cross-thread stats() reads tear-free (slightly stale is fine).
-  StatsSlot& my_slot() { return slots_[util::ThreadRegistry::tid()]; }
+  StatsSlot& my_slot() { return slots_.mine(); }
   static void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1,
             std::memory_order_relaxed);
@@ -258,7 +257,7 @@ class TxManager {
   std::shared_ptr<TxDomain> domain_;
   std::function<void()> begin_hook_;
   std::function<void(bool)> end_hook_;
-  std::unique_ptr<StatsSlot[]> slots_;
+  util::PerThreadSlots<StatsSlot> slots_;
 };
 
 /// RAII marker at the top of every data structure operation (paper Fig. 1).

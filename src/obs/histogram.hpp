@@ -1,0 +1,154 @@
+#pragma once
+// Mergeable per-thread log-bucketed latency histogram (HDR-style).
+//
+// Layout: values below 16 get exact unit buckets; above that, each power-of-
+// two octave is split into 16 linear sub-buckets, so any recorded value maps
+// to a bucket whose width is at most 1/16 of its magnitude (<= 6.25% relative
+// error on quantiles). Counts are EXACT — this is a bucketed census, not a
+// probabilistic sketch — which is what makes per-thread slots mergeable by
+// plain summation.
+//
+// Hot path: one branch + shift to find the bucket, then three relaxed
+// single-writer atomic bumps in a lazily allocated per-thread slot (the
+// StoreStats pattern, via util::PerThreadSlots). There are no shared writes;
+// snapshot() merges slots on the reader's side.
+//
+// The histogram is unit-agnostic: callers record nanoseconds, TSC ticks, or
+// attempt counts alike, and scale at exposition time if needed.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "util/per_thread.hpp"
+
+namespace medley::obs {
+
+/// Bucket geometry, shared by Histogram and its snapshots.
+struct HistogramBuckets {
+  static constexpr int kSubBits = 4;               // 16 sub-buckets per octave
+  static constexpr int kSubCount = 1 << kSubBits;  // values < 16 are exact
+  static constexpr int kBucketCount =
+      ((64 - kSubBits) << kSubBits) + kSubCount;  // 976 for the full u64 range
+
+  static constexpr int bucket_of(std::uint64_t v) noexcept {
+    if (v < static_cast<std::uint64_t>(kSubCount)) return static_cast<int>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBits;
+    return ((shift + 1) << kSubBits) +
+           static_cast<int>((v >> shift) & (kSubCount - 1));
+  }
+
+  /// Smallest value mapping to bucket b.
+  static constexpr std::uint64_t lower_bound(int b) noexcept {
+    if (b < kSubCount) return static_cast<std::uint64_t>(b);
+    const int shift = (b >> kSubBits) - 1;
+    return (static_cast<std::uint64_t>(kSubCount + (b & (kSubCount - 1))))
+           << shift;
+  }
+
+  /// Largest value mapping to bucket b.
+  static constexpr std::uint64_t upper_bound(int b) noexcept {
+    return b + 1 < kBucketCount ? lower_bound(b + 1) - 1 : ~std::uint64_t{0};
+  }
+};
+
+/// Point-in-time merge of all per-thread slots. Plain data: copy, add, and
+/// query freely off the hot path.
+class HistogramSnapshot {
+ public:
+  std::array<std::uint64_t, HistogramBuckets::kBucketCount> counts{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = ~std::uint64_t{0};  // undefined when count == 0
+  std::uint64_t max = 0;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) {
+    for (int i = 0; i < HistogramBuckets::kBucketCount; i++)
+      counts[i] += o.counts[i];
+    count += o.count;
+    sum += o.sum;
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+    return *this;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q*count)-th smallest recorded value, clamped to the observed
+  /// max (so quantile(1.0) == max and sub-16 values are exact). 0 if empty.
+  std::uint64_t quantile(double q) const {
+    if (count == 0) return 0;
+    if (q <= 0.0) return min;
+    auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count) + 0.9999999999);
+    rank = std::min(std::max<std::uint64_t>(rank, 1), count);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < HistogramBuckets::kBucketCount; b++) {
+      seen += counts[b];
+      if (seen >= rank)
+        return std::min(HistogramBuckets::upper_bound(b), max);
+    }
+    return max;  // unreachable when counts are consistent
+  }
+
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+};
+
+class Histogram {
+ public:
+  /// Record one value. Wait-free; no shared writes.
+  void record(std::uint64_t v) noexcept {
+    Slot& s = slots_.mine();
+    const int b = HistogramBuckets::bucket_of(v);
+    // Single-writer slots: relaxed load+store beats an RMW on the hot path.
+    s.counts[b].store(s.counts[b].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    s.sum.store(s.sum.load(std::memory_order_relaxed) + v,
+                std::memory_order_relaxed);
+    if (v < s.min.load(std::memory_order_relaxed))
+      s.min.store(v, std::memory_order_relaxed);
+    if (v > s.max.load(std::memory_order_relaxed))
+      s.max.store(v, std::memory_order_relaxed);
+  }
+
+  /// Merge every thread's slot. Safe concurrently with writers; each counter
+  /// read is tear-free (totals may trail in-flight records by a few).
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+    slots_.for_each([&](const Slot& s) {
+      const std::uint64_t n = slot_count(s, out);
+      if (n == 0) return;
+      out.count += n;
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      out.min = std::min(out.min, s.min.load(std::memory_order_relaxed));
+      out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    });
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> counts[HistogramBuckets::kBucketCount] = {};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  static std::uint64_t slot_count(const Slot& s, HistogramSnapshot& out) {
+    std::uint64_t n = 0;
+    for (int i = 0; i < HistogramBuckets::kBucketCount; i++) {
+      const std::uint64_t c = s.counts[i].load(std::memory_order_relaxed);
+      out.counts[i] += c;
+      n += c;
+    }
+    return n;
+  }
+
+  util::PerThreadSlots<Slot> slots_;
+};
+
+}  // namespace medley::obs

@@ -1,0 +1,286 @@
+#pragma once
+// MetricsRegistry: named counters / gauges / histograms with label support,
+// exportable as Prometheus text exposition or a JSON dump.
+//
+// Registration (counter()/gauge()/histogram()) is a cold path under a mutex
+// and is idempotent: the same (name, labels) pair returns the same object,
+// so layers can re-resolve instruments without coordination. Callers resolve
+// instruments ONCE at construction and keep raw references — the returned
+// references are stable for the registry's lifetime. The hot path (inc(),
+// record()) never touches the registry: counters and histograms bump
+// lazily allocated per-thread slots (util::PerThreadSlots), gauges are a
+// single atomic or a pull callback.
+//
+// Exposition conventions: counters end in _total, histograms are exported in
+// Prometheus summary form (quantile="0.5/0.9/0.99/0.999" series plus _sum
+// and _count) because log-bucketed u64 histograms would otherwise emit ~976
+// le-buckets per series. Values are unit-agnostic; by repo convention
+// latency series carry an _ns suffix and record nanoseconds.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "util/per_thread.hpp"
+
+namespace medley::obs {
+
+/// Label set, e.g. {{"op", "get"}, {"shard", "0"}}. Order-insensitive:
+/// the registry canonicalizes by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event count; per-thread slots, no shared writes.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    auto& s = slots_.mine();
+    s.store(s.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    slots_.for_each([&](const std::atomic<std::uint64_t>& s) {
+      total += s.load(std::memory_order_relaxed);
+    });
+    return total;
+  }
+
+ private:
+  util::PerThreadSlots<std::atomic<std::uint64_t>> slots_;
+};
+
+/// Point-in-time value: either set()/add() on an atomic, or a pull callback
+/// bound at registration (bind() before concurrent use — it is not synced).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  void bind(std::function<double()> fn) { fn_ = std::move(fn); }
+  double value() const {
+    return fn_ ? fn_() : v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+  std::function<double()> fn_;
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   Labels labels = {}) {
+    return *series(name, help, 'c', std::move(labels)).c;
+  }
+
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Labels labels = {}) {
+    return *series(name, help, 'g', std::move(labels)).g;
+  }
+
+  /// Pull-mode gauge: `fn` is invoked at exposition time. It must be safe to
+  /// call from any thread for the registry's lifetime.
+  Gauge& gauge_fn(const std::string& name, const std::string& help,
+                  Labels labels, std::function<double()> fn) {
+    Gauge& g = gauge(name, help, std::move(labels));
+    g.bind(std::move(fn));
+    return g;
+  }
+
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       Labels labels = {}) {
+    return *series(name, help, 'h', std::move(labels)).h;
+  }
+
+  /// Prometheus text exposition (version 0.0.4).
+  std::string prometheus() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out;
+    for (const auto& [name, fam] : families_) {
+      out += "# HELP " + name + " " + escape_help(fam.help) + "\n";
+      out += "# TYPE " + name + " " + type_name(fam.type) + "\n";
+      for (const auto& sp : series_) {
+        if (sp->name != name) continue;
+        expose_series(*sp, fam.type, out);
+      }
+    }
+    return out;
+  }
+
+  /// JSON dump: an array of series objects with their current values.
+  std::string json() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out = "[";
+    bool first = true;
+    for (const auto& sp : series_) {
+      if (!first) out += ",";
+      first = false;
+      const char type = families_.at(sp->name).type;
+      out += "{\"name\":\"" + json_escape(sp->name) + "\",\"type\":\"" +
+             type_name(type) + "\",\"labels\":{";
+      for (std::size_t i = 0; i < sp->labels.size(); i++) {
+        if (i) out += ",";
+        out += "\"" + json_escape(sp->labels[i].first) + "\":\"" +
+               json_escape(sp->labels[i].second) + "\"";
+      }
+      out += "},";
+      if (type == 'c') {
+        out += "\"value\":" + std::to_string(sp->c->value());
+      } else if (type == 'g') {
+        out += "\"value\":" + fmt_double(sp->g->value());
+      } else {
+        const HistogramSnapshot snap = sp->h->snapshot();
+        out += "\"count\":" + std::to_string(snap.count) +
+               ",\"sum\":" + std::to_string(snap.sum) +
+               ",\"min\":" + std::to_string(snap.count ? snap.min : 0) +
+               ",\"max\":" + std::to_string(snap.max) +
+               ",\"p50\":" + std::to_string(snap.quantile(0.5)) +
+               ",\"p90\":" + std::to_string(snap.quantile(0.9)) +
+               ",\"p99\":" + std::to_string(snap.quantile(0.99)) +
+               ",\"p999\":" + std::to_string(snap.quantile(0.999));
+      }
+      out += "}";
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  struct Family {
+    std::string help;
+    char type;  // 'c' counter, 'g' gauge, 'h' histogram-as-summary
+  };
+  struct Series {
+    std::string name;
+    Labels labels;  // canonical (key-sorted)
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Series& series(const std::string& name, const std::string& help, char type,
+                 Labels labels) {
+    std::sort(labels.begin(), labels.end());
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = families_.try_emplace(name, Family{help, type});
+    if (!inserted && it->second.type != type)
+      throw std::logic_error("metric '" + name +
+                             "' re-registered with a different type");
+    for (const auto& sp : series_) {
+      if (sp->name == name && sp->labels == labels) return *sp;
+    }
+    auto sp = std::make_unique<Series>();
+    sp->name = name;
+    sp->labels = std::move(labels);
+    if (type == 'c') sp->c = std::make_unique<Counter>();
+    if (type == 'g') sp->g = std::make_unique<Gauge>();
+    if (type == 'h') sp->h = std::make_unique<Histogram>();
+    series_.push_back(std::move(sp));
+    return *series_.back();
+  }
+
+  static const char* type_name(char t) {
+    return t == 'c' ? "counter" : t == 'g' ? "gauge" : "summary";
+  }
+
+  static std::string escape_label(const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      if (c == '\\') out += "\\\\";
+      else if (c == '"') out += "\\\"";
+      else if (c == '\n') out += "\\n";
+      else out += c;
+    }
+    return out;
+  }
+
+  static std::string escape_help(const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      if (c == '\\') out += "\\\\";
+      else if (c == '\n') out += "\\n";
+      else out += c;
+    }
+    return out;
+  }
+
+  static std::string json_escape(const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  static std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+
+  static std::string label_block(const Labels& labels,
+                                 const std::string& extra = {}) {
+    if (labels.empty() && extra.empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out += ",";
+      first = false;
+      out += k + "=\"" + escape_label(v) + "\"";
+    }
+    if (!extra.empty()) {
+      if (!first) out += ",";
+      out += extra;
+    }
+    out += "}";
+    return out;
+  }
+
+  static void expose_series(const Series& s, char type, std::string& out) {
+    if (type == 'c') {
+      out += s.name + label_block(s.labels) + " " +
+             std::to_string(s.c->value()) + "\n";
+    } else if (type == 'g') {
+      out += s.name + label_block(s.labels) + " " + fmt_double(s.g->value()) +
+             "\n";
+    } else {
+      const HistogramSnapshot snap = s.h->snapshot();
+      for (double q : kQuantiles) {
+        out += s.name +
+               label_block(s.labels, "quantile=\"" + fmt_double(q) + "\"") +
+               " " + std::to_string(snap.quantile(q)) + "\n";
+      }
+      out += s.name + "_sum" + label_block(s.labels) + " " +
+             std::to_string(snap.sum) + "\n";
+      out += s.name + "_count" + label_block(s.labels) + " " +
+             std::to_string(snap.count) + "\n";
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::vector<std::unique_ptr<Series>> series_;
+};
+
+}  // namespace medley::obs

@@ -43,6 +43,8 @@
 
 #include "core/medley.hpp"
 #include "ds/ms_queue.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/feed.hpp"
 #include "store/store_stats.hpp"
 
@@ -100,6 +102,46 @@ struct StoreConfig {
   /// on. Ambient transactions are unaffected: a store op inside an open
   /// transaction always flat-nests into it, whatever its mode.
   bool read_only_reads = false;
+
+  // ---- Observability (src/obs) -----------------------------------------
+
+  /// Master switch for the metrics layer: per-op-type counters, per-op
+  /// latency (ns) and attempts histograms recorded by the store's
+  /// TxExecutors, abort-reason and RO-fallback counters, and key-count /
+  /// feed-depth gauges — all queryable via dump_metrics(). Default OFF;
+  /// the metrics-off hot path costs one untaken branch per operation.
+  bool metrics = false;
+
+  /// Histogram sampling: the store's executors record latency/attempts
+  /// for 1 in 2^metrics_sample_shift operations (TxPolicy::obs_sample_shift).
+  /// Counters, gauges, and stats() stay exact — only the histogram sample
+  /// stream thins, which leaves quantiles unbiased. The default 1/64 keeps
+  /// the TSC read pair (~20ns, >10% of a fast get) off the common path;
+  /// set 0 to record every operation (exact-tail benches do).
+  std::uint8_t metrics_sample_shift = 6;
+
+  /// Registry the store's instruments live in. Null + metrics → the store
+  /// creates a private one. ShardedStoreBase points every shard at ONE
+  /// registry (with shard="i" labels) so dump_metrics() is store-wide.
+  /// Pull gauges capture the store — a shared registry must not be read
+  /// after a store that registered into it is destroyed.
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry;
+
+  /// Constant labels stamped on every series this store registers (the
+  /// sharded base sets {"shard", "<i>"}; single stores usually leave it
+  /// empty).
+  obs::Labels metric_labels;
+
+  /// Per-thread capacity of the tx-lifecycle trace ring (obs/trace.hpp);
+  /// 0 = tracing off (default). Independent of `metrics`: tracing is a
+  /// debugging/post-mortem tool (a few relaxed stores per attempt), the
+  /// registry a serving observable.
+  std::size_t trace_capacity = 0;
+
+  /// Ring to emit into. Null + trace_capacity → the store creates one.
+  /// Sharded stores share one ring so a cross-shard transaction's
+  /// lifecycle lands in a single timeline.
+  std::shared_ptr<obs::TraceRing> trace_ring;
 };
 
 /// Construction-time validation of a StoreConfig (shared by
@@ -134,13 +176,39 @@ class BasicMedleyStore : public core::Composable {
         secondary_(secondary),
         cfg_(validated(cfg)),
         exec_(cfg.tx_policy),
-        feed_(mgr) {}
+        feed_(mgr) {
+    init_observability();
+  }
+
+  /// Operation types the store instruments (the `op` label of every
+  /// per-op metric series).
+  enum OpType : int {
+    kOpGet = 0,
+    kOpContains,
+    kOpPut,
+    kOpDel,
+    kOpRmw,
+    kOpMultiPut,
+    kOpRange,
+    kOpScan,
+    kOpPeekFeed,
+    kOpPollFeed,
+    kOpCross,  // used by ShardedStoreBase for cross-shard transactions
+    kOpTypeCount
+  };
+
+  static const char* op_name(int op) {
+    static constexpr const char* kNames[kOpTypeCount] = {
+        "get",   "contains", "put",  "del",       "rmw",       "multi_put",
+        "range", "scan",     "peek_feed", "poll_feed", "cross"};
+    return kNames[op];
+  }
 
   // ---- point operations --------------------------------------------------
 
   std::optional<V> get(const K& k) {
     std::optional<V> res;
-    exec_ro([&] { res = primary_->get(k); });
+    exec_ro(kOpGet, [&] { res = primary_->get(k); });
     return res;
   }
 
@@ -149,21 +217,21 @@ class BasicMedleyStore : public core::Composable {
   /// link, so a contains over a large value type copies nothing.
   bool contains(const K& k) {
     bool res = false;
-    exec_ro([&] { res = primary_->contains(k); });
+    exec_ro(kOpContains, [&] { res = primary_->contains(k); });
     return res;
   }
 
   /// Insert-or-replace; returns the previous value if any.
   std::optional<V> put(const K& k, const V& v) {
     std::optional<V> old;
-    exec([&] { old = put_in_tx(k, v); });
+    exec(kOpPut, [&] { old = put_in_tx(k, v); });
     return old;
   }
 
   /// Remove; returns the removed value if the key was present.
   std::optional<V> del(const K& k) {
     std::optional<V> old;
-    exec([&] { old = del_in_tx(k); });
+    exec(kOpDel, [&] { old = del_in_tx(k); });
     return old;
   }
 
@@ -174,7 +242,7 @@ class BasicMedleyStore : public core::Composable {
   template <typename F>
   std::optional<V> read_modify_write(const K& k, F&& f) {
     std::optional<V> desired;
-    exec([&] {
+    exec(kOpRmw, [&] {
       std::optional<V> cur = primary_->get(k);
       desired = f(static_cast<const std::optional<V>&>(cur));
       if (desired) {
@@ -189,7 +257,7 @@ class BasicMedleyStore : public core::Composable {
   /// All-or-nothing batch upsert (one transaction, one feed entry per
   /// key). Batch size is bounded by the descriptor write set (~1K words).
   void multi_put(const std::vector<std::pair<K, V>>& kvs) {
-    exec([&] {
+    exec(kOpMultiPut, [&] {
       for (const auto& [k, v] : kvs) put_in_tx(k, v);
     });
   }
@@ -199,14 +267,14 @@ class BasicMedleyStore : public core::Composable {
   /// Atomic snapshot of all entries with lo <= key <= hi, ascending.
   std::vector<std::pair<K, V>> range(const K& lo, const K& hi) {
     std::vector<std::pair<K, V>> out;
-    exec_ro([&] { out = secondary_->range(lo, hi); });
+    exec_ro(kOpRange, [&] { out = secondary_->range(lo, hi); });
     return out;
   }
 
   /// Atomic snapshot of up to `limit` entries with key >= lo, ascending.
   std::vector<std::pair<K, V>> scan(const K& lo, std::size_t limit) {
     std::vector<std::pair<K, V>> out;
-    exec_ro([&] { out = secondary_->scan(lo, limit); });
+    exec_ro(kOpScan, [&] { out = secondary_->scan(lo, limit); });
     return out;
   }
 
@@ -217,7 +285,7 @@ class BasicMedleyStore : public core::Composable {
   /// peeks every shard inside one transaction to pick the next entry.
   std::optional<FeedItem> peek_feed() {
     std::optional<FeedItem> out;
-    exec([&] { out = feed_.peek(); });
+    exec(kOpPeekFeed, [&] { out = feed_.peek(); });
     return out;
   }
 
@@ -232,7 +300,7 @@ class BasicMedleyStore : public core::Composable {
     // already clamped to kMaxFeedDrainPerTx.
     max_entries = std::min(max_entries, cfg_.feed_drain_per_tx);
     std::vector<FeedItem> out;
-    exec([&] {
+    exec(kOpPollFeed, [&] {
       out.clear();
       while (out.size() < max_entries) {
         auto e = feed_.dequeue();
@@ -243,6 +311,7 @@ class BasicMedleyStore : public core::Composable {
         addToCleanups([this, n] { stats_.note_feed_poll(n); });
       }
     });
+    if (feed_drain_hist_ != nullptr) feed_drain_hist_->record(out.size());
     return out;
   }
 
@@ -256,6 +325,32 @@ class BasicMedleyStore : public core::Composable {
   Primary& primary() { return *primary_; }
   Secondary& secondary() { return *secondary_; }
 
+  /// Prometheus text exposition of every metric this store registered
+  /// (empty string when StoreConfig::metrics is off).
+  std::string dump_metrics() const {
+    return registry_ ? registry_->prometheus() : std::string{};
+  }
+
+  /// Same registry as a JSON array (histograms with p50/p90/p99/p999).
+  std::string dump_metrics_json() const {
+    return registry_ ? registry_->json() : std::string{"[]"};
+  }
+
+  /// The registry (null when metrics are off); sharded stores hand every
+  /// shard the same one.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics_registry() const {
+    return registry_;
+  }
+
+  /// The tx-lifecycle ring (null when trace_capacity == 0) and its
+  /// human-readable dump — post-mortem interleaving analysis.
+  const std::shared_ptr<obs::TraceRing>& trace_ring() const {
+    return trace_ring_;
+  }
+  std::string dump_trace() const {
+    return trace_ring_ ? trace_ring_->dump_text() : std::string{};
+  }
+
  protected:
   /// Run `body` as this store's transaction: flat-nested into an ambient
   /// transaction, else executed by the store's TxExecutor under the
@@ -268,12 +363,14 @@ class BasicMedleyStore : public core::Composable {
   /// historical contract — store bodies only user-abort on behalf of the
   /// caller's own business rule).
   template <typename Body>
-  void exec(Body&& body) {
+  void exec(OpType op, Body&& body) {
     if (mgr->in_tx()) {
       body();
       return;
     }
-    auto res = exec_.execute(*mgr, std::forward<Body>(body));
+    auto res = instrumented_ ? op_exec_[op].execute(*mgr, body)
+                             : exec_.execute(*mgr, body);
+    if (registry_) note_result(op, res);
     stats_.record(res.stats);
     rethrow_failed_non_user(res);
   }
@@ -286,16 +383,18 @@ class BasicMedleyStore : public core::Composable {
   /// either way — the enclosing transaction's mode governs, and under an
   /// enclosing READ-ONLY transaction the body's reads join its log.
   template <typename Body>
-  void exec_ro(Body&& body) {
+  void exec_ro(OpType op, Body&& body) {
     if (mgr->in_tx()) {
       body();
       return;
     }
     if (!cfg_.read_only_reads) {
-      exec(std::forward<Body>(body));
+      exec(op, std::forward<Body>(body));
       return;
     }
-    auto res = exec_.execute_ro(*mgr, std::forward<Body>(body));
+    auto res = instrumented_ ? op_exec_[op].execute_ro(*mgr, body)
+                             : exec_.execute_ro(*mgr, body);
+    if (registry_) note_result(op, res);
     stats_.record(res.stats);
     rethrow_failed_non_user(res);
   }
@@ -331,6 +430,105 @@ class BasicMedleyStore : public core::Composable {
     addToCleanups([this] { stats_.note_feed_push(1); });
   }
 
+  /// Build the metrics / tracing plumbing from cfg_. Registration is the
+  /// cold path: instruments resolve to raw pointers ONCE here; the hot
+  /// path then only bumps per-thread slots. Per-op TxExecutors carry the
+  /// per-op-type latency/attempts histograms (and the trace ring) in their
+  /// policies, so instrumented and plain execution share one code path.
+  void init_observability() {
+    if (cfg_.trace_capacity > 0) {
+      trace_ring_ = cfg_.trace_ring
+                        ? cfg_.trace_ring
+                        : std::make_shared<obs::TraceRing>(cfg_.trace_capacity);
+    }
+    if (cfg_.metrics) {
+      registry_ = cfg_.metrics_registry
+                      ? cfg_.metrics_registry
+                      : std::make_shared<obs::MetricsRegistry>();
+      util::tsc_ns_per_tick();  // calibrate now, not on the first op
+    }
+    instrumented_ = registry_ != nullptr || trace_ring_ != nullptr;
+    if (!instrumented_) return;
+
+    auto labeled = [&](const char* k, const char* v) {
+      obs::Labels l = cfg_.metric_labels;
+      l.emplace_back(k, v);
+      return l;
+    };
+    for (int op = 0; op < kOpTypeCount; op++) {
+      TxPolicy p = cfg_.tx_policy;
+      p.trace = trace_ring_.get();
+      p.obs_sample_shift = cfg_.metrics_sample_shift;
+      if (registry_) {
+        op_counters_[op] = &registry_->counter(
+            "medley_store_ops_total", "Completed top-level store operations",
+            labeled("op", op_name(op)));
+        p.latency_hist = &registry_->histogram(
+            "medley_store_op_latency_ns",
+            "End-to-end latency of top-level store operations (ns)",
+            labeled("op", op_name(op)));
+        p.attempts_hist = &registry_->histogram(
+            "medley_store_op_attempts",
+            "Transaction attempts consumed per top-level operation",
+            labeled("op", op_name(op)));
+      }
+      op_exec_[op] = TxExecutor(std::move(p));
+    }
+    if (!registry_) return;
+    static constexpr const char* kReasons[] = {"conflict", "validation",
+                                               "capacity", "user"};
+    for (int r = 0; r < 4; r++) {
+      abort_counters_[r] = &registry_->counter(
+          "medley_store_aborts_total", "Aborted transaction attempts by reason",
+          labeled("reason", kReasons[r]));
+    }
+    retries_counter_ = &registry_->counter(
+        "medley_store_tx_retries_total",
+        "Aborted attempts that were re-run under the store's policy",
+        cfg_.metric_labels);
+    ro_fallback_counters_[0] = &registry_->counter(
+        "medley_store_ro_fallbacks_total",
+        "Read-only snapshot attempts that fell back to a full transaction",
+        labeled("kind", "write"));
+    ro_fallback_counters_[1] = &registry_->counter(
+        "medley_store_ro_fallbacks_total",
+        "Read-only snapshot attempts that fell back to a full transaction",
+        labeled("kind", "validation"));
+    feed_drain_hist_ = &registry_->histogram(
+        "medley_store_feed_drain", "Entries drained per poll_feed call",
+        cfg_.metric_labels);
+    registry_->gauge_fn("medley_store_keys",
+                        "Live keys (commit-exact insert minus remove)",
+                        cfg_.metric_labels, [this] {
+                          return static_cast<double>(
+                              stats_.aggregate().key_count());
+                        });
+    registry_->gauge_fn("medley_store_feed_depth",
+                        "Committed feed entries not yet polled",
+                        cfg_.metric_labels, [this] {
+                          return static_cast<double>(stats_.feed_depth());
+                        });
+  }
+
+  /// Registry-side accounting of one resolved top-level execute: op count,
+  /// per-reason abort counts, retries, RO fallback kind. Counter bumps are
+  /// per-thread relaxed adds; the zero checks keep the common uncontended
+  /// op at a single increment.
+  template <typename R>
+  void note_result(OpType op, const TxResult<R>& res) {
+    op_counters_[op]->inc();
+    const TxStats& s = res.stats;
+    if (s.conflict_aborts) abort_counters_[0]->inc(s.conflict_aborts);
+    if (s.validation_aborts) abort_counters_[1]->inc(s.validation_aborts);
+    if (s.capacity_aborts) abort_counters_[2]->inc(s.capacity_aborts);
+    if (s.user_aborts) abort_counters_[3]->inc(s.user_aborts);
+    if (s.retries) retries_counter_->inc(s.retries);
+    if (res.ro_fallback) {
+      ro_fallback_counters_[*res.ro_fallback == ROFallback::kWrite ? 0 : 1]
+          ->inc();
+    }
+  }
+
   Primary* primary_;
   Secondary* secondary_;
   StoreConfig cfg_;
@@ -339,6 +537,19 @@ class BasicMedleyStore : public core::Composable {
   StoreStats stats_;
   std::atomic<std::uint64_t> owned_feed_seq_{0};
   std::atomic<std::uint64_t>* feed_seq_ = &owned_feed_seq_;
+
+  // Observability plumbing (init_observability). Raw instrument pointers
+  // stay valid for the registry's lifetime; the store keeps the registry
+  // (and ring) alive via shared_ptr.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::shared_ptr<obs::TraceRing> trace_ring_;
+  bool instrumented_ = false;
+  TxExecutor op_exec_[kOpTypeCount];
+  obs::Counter* op_counters_[kOpTypeCount] = {};
+  obs::Counter* abort_counters_[4] = {};
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* ro_fallback_counters_[2] = {};  // write, validation
+  obs::Histogram* feed_drain_hist_ = nullptr;
 
  public:
   /// Stamp feed entries from a shared sequencer instead of the store's own

@@ -140,6 +140,7 @@ class ShardedStoreBase {
       return {};
     }
     auto res = cross_exec_.execute(*root_mgr(), std::forward<F>(body));
+    if (registry_) note_cross_result(res);
     cross_stats_.record(res.stats);
     rethrow_failed_non_user(res);
     return res.stats;
@@ -274,6 +275,28 @@ class ShardedStoreBase {
     return out;
   }
 
+  /// Store-wide Prometheus exposition: every shard's series (shard="i")
+  /// plus the cross-shard block (shard="cross"), one registry. Empty when
+  /// StoreConfig::metrics is off.
+  std::string dump_metrics() const {
+    return registry_ ? registry_->prometheus() : std::string{};
+  }
+  std::string dump_metrics_json() const {
+    return registry_ ? registry_->json() : std::string{"[]"};
+  }
+  const std::shared_ptr<obs::MetricsRegistry>& metrics_registry() const {
+    return registry_;
+  }
+
+  /// Shared tx-lifecycle ring (all shards + cross-shard transactions emit
+  /// into it); null when trace_capacity == 0.
+  const std::shared_ptr<obs::TraceRing>& trace_ring() const {
+    return trace_ring_;
+  }
+  std::string dump_trace() const {
+    return trace_ring_ ? trace_ring_->dump_text() : std::string{};
+  }
+
  protected:
   struct Slot {
     std::unique_ptr<core::TxManager> mgr;
@@ -287,19 +310,89 @@ class ShardedStoreBase {
     if (nshards == 0) {
       throw std::invalid_argument("sharded store: nshards must be > 0");
     }
+    // One registry / one trace ring for the whole store: every shard
+    // registers its series with a shard="i" label into the shared
+    // registry, so dump_metrics() is store-wide and per-shard skew is
+    // directly visible; the shared ring lands cross-shard lifecycles in
+    // one timeline. Must run before shards are built.
+    init_observability();
     // Split the configured primary capacity across shards (the key space
     // is partitioned, not replicated), with a floor for tiny configs.
     // Shards start from the validated copy, so every layer agrees on the
     // effective feed_drain_per_tx.
     StoreConfig shard_cfg = cfg_;
     shard_cfg.buckets = std::max<std::size_t>(cfg_.buckets / nshards, 64);
+    shard_cfg.metrics_registry = registry_;
+    shard_cfg.trace_ring = trace_ring_;
     shards_.reserve(nshards);
     for (std::size_t i = 0; i < nshards; i++) {
+      shard_cfg.metric_labels = cfg_.metric_labels;
+      if (registry_ || trace_ring_) {
+        shard_cfg.metric_labels.emplace_back("shard", std::to_string(i));
+      }
       auto mgr = std::make_unique<core::TxManager>(domain_);
       auto store = std::make_unique<Shard>(mgr.get(), shard_cfg);
       store->share_feed_sequencer(&feed_seq_);
       shards_.push_back(Slot{std::move(mgr), std::move(store)});
     }
+  }
+
+  /// Observability plumbing shared with the shards (see the ctor): the
+  /// cross-shard executor gets op="cross",shard="cross" instruments so
+  /// cross-shard latency/aborts are separable from per-shard traffic.
+  void init_observability() {
+    if (cfg_.trace_capacity > 0) {
+      trace_ring_ = cfg_.trace_ring
+                        ? cfg_.trace_ring
+                        : std::make_shared<obs::TraceRing>(cfg_.trace_capacity);
+    }
+    if (cfg_.metrics) {
+      registry_ = cfg_.metrics_registry
+                      ? cfg_.metrics_registry
+                      : std::make_shared<obs::MetricsRegistry>();
+    }
+    if (!registry_ && !trace_ring_) return;
+    TxPolicy p = cfg_.tx_policy;
+    p.trace = trace_ring_.get();
+    if (registry_) {
+      obs::Labels base = cfg_.metric_labels;
+      base.emplace_back("shard", "cross");
+      auto with = [&](const char* k, const std::string& v) {
+        obs::Labels l = base;
+        l.emplace_back(k, v);
+        return l;
+      };
+      cross_ops_ = &registry_->counter("medley_store_ops_total",
+                                       "Completed top-level store operations",
+                                       with("op", "cross"));
+      p.latency_hist = &registry_->histogram(
+          "medley_store_op_latency_ns",
+          "End-to-end latency of top-level store operations (ns)",
+          with("op", "cross"));
+      p.attempts_hist = &registry_->histogram(
+          "medley_store_op_attempts",
+          "Transaction attempts consumed per top-level operation",
+          with("op", "cross"));
+      static constexpr const char* kReasons[] = {"conflict", "validation",
+                                                 "capacity", "user"};
+      for (int r = 0; r < 4; r++) {
+        cross_abort_counters_[r] = &registry_->counter(
+            "medley_store_aborts_total",
+            "Aborted transaction attempts by reason", with("reason", kReasons[r]));
+      }
+      cross_retries_ = &registry_->counter(
+          "medley_store_tx_retries_total",
+          "Aborted attempts that were re-run under the store's policy", base);
+      cross_ro_fallback_[0] = &registry_->counter(
+          "medley_store_ro_fallbacks_total",
+          "Read-only snapshot attempts that fell back to a full transaction",
+          with("kind", "write"));
+      cross_ro_fallback_[1] = &registry_->counter(
+          "medley_store_ro_fallbacks_total",
+          "Read-only snapshot attempts that fell back to a full transaction",
+          with("kind", "validation"));
+    }
+    cross_exec_ = TxExecutor(std::move(p));
   }
 
   Derived& derived() { return static_cast<Derived&>(*this); }
@@ -339,6 +432,7 @@ class ShardedStoreBase {
       return;
     }
     auto res = cross_exec_.execute_ro(*root_mgr(), std::forward<Body>(body));
+    if (registry_) note_cross_result(res);
     cross_stats_.record(res.stats);
     rethrow_failed_non_user(res);
   }
@@ -353,12 +447,38 @@ class ShardedStoreBase {
     return s0;
   }
 
+  /// Registry-side accounting of one resolved cross-shard execute (the
+  /// sharded twin of BasicMedleyStore::note_result).
+  template <typename R>
+  void note_cross_result(const TxResult<R>& res) {
+    cross_ops_->inc();
+    const TxStats& s = res.stats;
+    if (s.conflict_aborts) cross_abort_counters_[0]->inc(s.conflict_aborts);
+    if (s.validation_aborts) cross_abort_counters_[1]->inc(s.validation_aborts);
+    if (s.capacity_aborts) cross_abort_counters_[2]->inc(s.capacity_aborts);
+    if (s.user_aborts) cross_abort_counters_[3]->inc(s.user_aborts);
+    if (s.retries) cross_retries_->inc(s.retries);
+    if (res.ro_fallback) {
+      cross_ro_fallback_[*res.ro_fallback == ROFallback::kWrite ? 0 : 1]
+          ->inc();
+    }
+  }
+
   std::shared_ptr<core::TxDomain> domain_;
   StoreConfig cfg_;         // as configured (shards get the split-bucket copy)
   TxExecutor cross_exec_;   // cross-shard transactions, same policy as shards
   std::vector<Slot> shards_;
   std::atomic<std::uint64_t> feed_seq_{0};
   StoreStats cross_stats_;
+
+  // Observability (init_observability): one registry / ring shared with
+  // every shard; cross-shard instruments resolved once.
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::shared_ptr<obs::TraceRing> trace_ring_;
+  obs::Counter* cross_ops_ = nullptr;
+  obs::Counter* cross_abort_counters_[4] = {};
+  obs::Counter* cross_retries_ = nullptr;
+  obs::Counter* cross_ro_fallback_[2] = {};  // write, validation
 };
 
 }  // namespace medley::store

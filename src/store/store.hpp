@@ -21,6 +21,14 @@
 //       rkv(4, /*seed_keys=*/{...});      // boundaries from a key sample
 //   auto win = rkv.range(0, 100);         // concatenated, no k-way merge
 //
+//   // Observability (off by default; see src/obs/):
+//   medley::store::StoreConfig cfg;
+//   cfg.metrics = true;                   // counters + latency histograms
+//   cfg.trace_capacity = 4096;            // per-thread tx-lifecycle rings
+//   medley::store::MedleyStore<uint64_t, uint64_t> okv(&mgr, cfg);
+//   std::cout << okv.dump_metrics();      // Prometheus text exposition
+//   std::cout << okv.dump_trace();        // merged tx-lifecycle trace
+//
 // See basic_store.hpp for the design notes, medley_store.hpp for the
 // DRAM store, persistent_medley_store.hpp for the crash-surviving one,
 // sharded_base.hpp + sharded_store.hpp + range_sharded_store.hpp for the

@@ -12,12 +12,17 @@
 // and see a slightly stale but tear-free view. mine() reads the calling
 // thread's own slot — workload drivers use before/after deltas of it for
 // exact per-thread abort accounting.
+//
+// Slots live in a util::PerThreadSlots block (lazily allocated, leased-tid
+// indexed): repeated short-lived threads inherit prior slots and keep
+// adding, so aggregate() stays exact across thread churn and the store
+// never runs out of slots however many threads come and go.
 
 #include <atomic>
 #include <cstdint>
 
 #include "core/medley.hpp"
-#include "util/align.hpp"
+#include "util/per_thread.hpp"
 #include "util/thread_registry.hpp"
 
 namespace medley::store {
@@ -77,17 +82,16 @@ class StoreStats {
   /// Sum over all thread slots.
   Snapshot aggregate() const {
     Snapshot out;
-    const int n = util::ThreadRegistry::max_tid();
-    for (int i = 0; i < n && i < util::ThreadRegistry::kMaxThreads; i++) {
-      fold(out, *slots_[i]);
-    }
+    slots_.for_each([&](const Slot& s) { fold(out, s); });
     return out;
   }
 
   /// The calling thread's slot only (exact: single writer).
   Snapshot mine() const {
     Snapshot out;
-    fold(out, *slots_[util::ThreadRegistry::tid()]);
+    if (const Slot* s = slots_.get(util::ThreadRegistry::tid())) {
+      fold(out, *s);
+    }
     return out;
   }
 
@@ -135,9 +139,9 @@ class StoreStats {
     out.keys_removed += s.keys_removed.load(std::memory_order_relaxed);
   }
 
-  Slot& my_slot() { return *slots_[util::ThreadRegistry::tid()]; }
+  Slot& my_slot() { return slots_.mine(); }
 
-  util::Padded<Slot> slots_[util::ThreadRegistry::kMaxThreads];
+  util::PerThreadSlots<Slot> slots_;
 };
 
 }  // namespace medley::store

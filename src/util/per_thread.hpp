@@ -1,0 +1,98 @@
+#pragma once
+// Shared per-thread slot registration, keyed by the dense ThreadRegistry id.
+//
+// Every "zero shared-write hot path" structure in the repo (StoreStats,
+// TxManager stats, the obs histograms/trace rings) follows the same shape:
+// each thread bumps plain relaxed atomics in a slot nobody else writes, and
+// readers merge all slots into a snapshot. This header is the one
+// implementation of that shape so the lifecycle rules live in a single place:
+//
+//  * Slots are indexed by ThreadRegistry::tid(). Ids are LEASED: when a
+//    thread exits its id returns to the pool and a later thread may inherit
+//    the same slot. Slot contents must therefore be cumulative and
+//    merge-by-sum (counters, histogram buckets) — never "owned" state that a
+//    new thread would need zeroed. Aggregates stay exact across thread churn
+//    because the sum over slots is the sum over all threads ever.
+//  * mine() is single-writer by construction (only the leasing thread maps
+//    to the slot), so increments may use relaxed load+store; readers see
+//    tear-free values because every field is a std::atomic.
+//  * Slots are allocated lazily on first touch, so a structure that holds
+//    many histograms (a MetricsRegistry) costs one pointer array per
+//    instance, not kMaxThreads eager cache lines.
+//
+// T must be default-constructible; members should be std::atomic so that
+// for_each() from another thread is race-free.
+
+#include <atomic>
+#include <memory>
+
+#include "util/align.hpp"
+#include "util/thread_registry.hpp"
+
+namespace medley::util {
+
+template <typename T>
+class PerThreadSlots {
+ public:
+  PerThreadSlots() = default;
+  ~PerThreadSlots() {
+    for (auto& p : slots_) delete p.load(std::memory_order_acquire);
+  }
+  PerThreadSlots(const PerThreadSlots&) = delete;
+  PerThreadSlots& operator=(const PerThreadSlots&) = delete;
+
+  /// The calling thread's slot, allocated on first touch. The reference is
+  /// stable for the life of this object (slots are never freed early).
+  T& mine() { return at(ThreadRegistry::tid()); }
+
+  /// Slot for an explicit id (test hook / resumed-lease paths).
+  T& at(int id) {
+    Padded<T>* slot = slots_[id].load(std::memory_order_acquire);
+    if (slot == nullptr) slot = allocate(id);
+    return slot->value;
+  }
+
+  /// Read-only view of a slot; nullptr if that id never touched us.
+  const T* get(int id) const {
+    const Padded<T>* slot = slots_[id].load(std::memory_order_acquire);
+    return slot ? &slot->value : nullptr;
+  }
+
+  /// Visit every allocated slot (bounded by the registry high-water mark).
+  /// Safe concurrently with writers: fields are atomics, slots never die.
+  template <typename F>
+  void for_each(F&& f) const {
+    const int n = ThreadRegistry::max_tid();
+    for (int i = 0; i < n; i++) {
+      if (const T* s = get(i)) f(*s);
+    }
+  }
+
+  /// Mutating visit over allocated slots. For quiescent-only maintenance
+  /// (stats reset): a concurrent owner-thread load+store bump can overwrite
+  /// the mutation, exactly as documented on TxManager::reset_stats.
+  template <typename F>
+  void for_each_mut(F&& f) {
+    const int n = ThreadRegistry::max_tid();
+    for (int i = 0; i < n; i++) {
+      Padded<T>* slot = slots_[i].load(std::memory_order_acquire);
+      if (slot != nullptr) f(slot->value);
+    }
+  }
+
+ private:
+  Padded<T>* allocate(int id) {
+    auto* fresh = new Padded<T>();
+    Padded<T>* expected = nullptr;
+    if (slots_[id].compare_exchange_strong(expected, fresh,
+                                           std::memory_order_acq_rel)) {
+      return fresh;
+    }
+    delete fresh;  // another thread (an inherited lease) won the install
+    return expected;
+  }
+
+  std::atomic<Padded<T>*> slots_[ThreadRegistry::kMaxThreads] = {};
+};
+
+}  // namespace medley::util

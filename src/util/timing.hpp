@@ -13,6 +13,36 @@ inline std::uint64_t now_ns() noexcept {
           .count());
 }
 
+/// Raw timestamp counter for low-overhead latency sampling. ~3x cheaper
+/// than now_ns() on x86 (no vDSO call); monotone per core and, on every
+/// invariant-TSC machine we target, across cores. Falls back to now_ns()
+/// elsewhere, in which case tsc_ns_per_tick() calibrates to ~1.0.
+inline std::uint64_t tsc_now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_ia32_rdtsc();
+#else
+  return now_ns();
+#endif
+}
+
+/// Nanoseconds per TSC tick, calibrated once per process against the steady
+/// clock over a few milliseconds. First call pays the calibration delay;
+/// record raw ticks on the hot path and scale at snapshot time.
+inline double tsc_ns_per_tick() noexcept {
+  static const double scale = [] {
+    const std::uint64_t t0 = tsc_now();
+    const std::uint64_t n0 = now_ns();
+    while (now_ns() - n0 < 2'000'000) {
+    }
+    const std::uint64_t t1 = tsc_now();
+    const std::uint64_t n1 = now_ns();
+    return t1 > t0 ? static_cast<double>(n1 - n0) /
+                         static_cast<double>(t1 - t0)
+                   : 1.0;
+  }();
+  return scale;
+}
+
 /// Simple stopwatch: elapsed nanoseconds since construction or reset().
 class Stopwatch {
  public:

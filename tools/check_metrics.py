@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition produced by dump_metrics().
+
+Stdlib-only (CI runs it bare). Checks, in order:
+
+  1. line grammar: every line is a comment (# HELP / # TYPE), blank, or a
+     sample `name[{labels}] value` with a parseable float value;
+  2. every sample belongs to a family with a preceding # TYPE line
+     (summary samples may use the family's _sum/_count suffixes);
+  3. the store's required families are all present;
+  4. every summary family exposes quantile-labeled samples.
+
+Usage: check_metrics.py [exposition.prom]   (reads stdin when no file)
+Exit status 0 when valid; 1 with one message per violation otherwise.
+"""
+
+import re
+import sys
+
+REQUIRED_FAMILIES = [
+    "medley_store_ops_total",
+    "medley_store_op_latency_ns",
+    "medley_store_aborts_total",
+    "medley_store_keys",
+    "medley_store_feed_depth",
+]
+
+NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+HELP_RE = re.compile(rf"^# HELP ({NAME_RE}) .*$")
+TYPE_RE = re.compile(rf"^# TYPE ({NAME_RE}) (counter|gauge|summary|histogram|untyped)$")
+SAMPLE_RE = re.compile(rf"^({NAME_RE})(\{{(.*)\}})? (\S+)$")
+LABEL_RE = re.compile(rf'({NAME_RE})="((?:[^"\\]|\\.)*)"')
+
+
+def parse_labels(raw):
+    """Return the label dict, or None if `raw` is not a valid label body."""
+    labels = {}
+    rest = raw
+    while rest:
+        m = LABEL_RE.match(rest)
+        if not m:
+            return None
+        labels[m.group(1)] = m.group(2)
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return labels
+
+
+def base_family(name, types):
+    """Map a sample name to its family (summary _sum/_count included)."""
+    if name in types:
+        return name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def validate(text):
+    errors = []
+    types = {}  # family -> type
+    samples = []  # (family, name, labels, lineno)
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if TYPE_RE.match(line):
+                m = TYPE_RE.match(line)
+                types[m.group(1)] = m.group(2)
+            elif not HELP_RE.match(line):
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name, label_body, value = m.group(1), m.group(3), m.group(4)
+        labels = {}
+        if label_body is not None:
+            labels = parse_labels(label_body)
+            if labels is None:
+                errors.append(f"line {lineno}: malformed labels: {line!r}")
+                continue
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: unparseable value {value!r}")
+            continue
+        family = base_family(name, types)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name!r} has no # TYPE")
+            continue
+        samples.append((family, name, labels, lineno))
+
+    for fam in REQUIRED_FAMILIES:
+        if fam not in types:
+            errors.append(f"required family missing: {fam}")
+        elif not any(s[0] == fam for s in samples):
+            errors.append(f"required family has no samples: {fam}")
+
+    for fam, ftype in sorted(types.items()):
+        if ftype != "summary":
+            continue
+        quantiled = [
+            s for s in samples if s[0] == fam and "quantile" in s[2]
+        ]
+        plain = [s for s in samples if s[0] == fam]
+        if plain and not quantiled:
+            errors.append(f"summary family without quantile samples: {fam}")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) > 1:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("check_metrics: empty exposition", file=sys.stderr)
+        return 1
+    errors = validate(text)
+    for e in errors:
+        print(f"check_metrics: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    n_fam = len(set(l.split()[2] for l in text.splitlines()
+                    if l.startswith("# TYPE")))
+    print(f"check_metrics: OK ({n_fam} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
