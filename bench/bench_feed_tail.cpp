@@ -1,0 +1,101 @@
+// Micro-bench: the MSQueue feed-tail cost the combining layer amortizes.
+//
+// Every store mutation appends one change-feed entry, and every append
+// linearizes on the SAME queue tail (one descriptor-installed CAS on
+// tail->next plus the tail-swing cleanup — ds/ms_queue.hpp). This bench
+// isolates that cost directly, as a function of
+//
+//   threads      — how hard the tail is contended, and
+//   enq_per_tx   — how many enqueues share ONE transaction (descriptor
+//                  publication + commit CAS amortized across the batch),
+//                  which is exactly what the flat-combining group commit
+//                  does for independent ops (core/combiner.hpp).
+//
+// Read BENCH_feed_tail.json as: time/op at enq_per_tx:1 is the eager
+// baseline every mutation pays; the drop from enq_per_tx:1 to 8/32 is the
+// amortization headroom group commit can claim, and its shrinkage as
+// threads grow shows how much of the per-op cost is the contended tail
+// CAS itself (not amortizable — batches still enqueue one entry per op)
+// versus the per-transaction protocol (amortizable N×).
+//
+// Iteration counts are fixed per batch size so total enqueued nodes stay
+// bounded (the queue is never drained inside the timed region — a drain
+// would put the head CAS on the critical path and muddy the tail story).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/medley.hpp"
+#include "ds/ms_queue.hpp"
+#include "store/feed.hpp"
+
+namespace {
+
+using Entry = medley::store::FeedEntry<std::uint64_t, std::uint64_t>;
+
+/// Shared fixture: one manager + one queue per benchmark run (all threads
+/// of a run contend on the same tail, like all mutators of one shard).
+struct Fixture {
+  medley::TxManager mgr;
+  medley::ds::MSQueue<Entry> q{&mgr};
+};
+std::unique_ptr<Fixture> g_fix;
+
+void bm_feed_tail(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Fixture& f = *g_fix;
+  std::uint64_t seq =
+      static_cast<std::uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    medley::execute_tx(f.mgr, [&] {
+      for (std::size_t i = 0; i < batch; i++) {
+        f.q.enqueue(Entry{medley::store::FeedOp::Put, seq, seq, seq});
+        seq++;
+      }
+    });
+  }
+  // items/s = enqueues/s: the per-ENQUEUE cost is the comparable number
+  // across batch sizes.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  state.counters["enq_per_tx"] = benchmark::Counter(
+      static_cast<double>(batch), benchmark::Counter::kAvgThreads);
+}
+
+void register_feed_tail() {
+  static constexpr std::size_t kBatches[] = {1, 8, 32};
+  static constexpr int kThreads[] = {1, 2, 4, 8};
+  for (const std::size_t b : kBatches) {
+    for (const int t : kThreads) {
+      std::string name = "feed_tail/enq_per_tx:" + std::to_string(b) +
+                         "/threads:" + std::to_string(t);
+      auto* bench =
+          benchmark::RegisterBenchmark(name.c_str(), bm_feed_tail);
+      bench->Arg(static_cast<int>(b));
+      bench->Threads(t);
+      // Fixed per-thread enqueue budget (~40K) so every row enqueues the
+      // same work and the queue stays small; rebuilt per run so no row
+      // inherits another's nodes.
+      bench->Iterations(static_cast<std::int64_t>(40'000 / b));
+      bench->Setup([](const benchmark::State&) {
+        g_fix = std::make_unique<Fixture>();
+      });
+      bench->Teardown([](const benchmark::State&) { g_fix.reset(); });
+      bench->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_feed_tail();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

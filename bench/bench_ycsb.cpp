@@ -37,6 +37,15 @@
 //                         insert-tail skew of workloads D/E — fresh keys
 //                         all land in the LAST range shard — observable
 //                         in the recorded JSON (BENCH_ycsb_range.json);
+//   ShardedMedleyStore-{1,4,8}-comb / RangeShardedMedleyStore-4-comb —
+//                         identical stores with StoreConfig::combining on:
+//                         top-level point mutations are group-committed in
+//                         flat-combining batches (one descriptor + one
+//                         commit CAS per batch, src/core/combiner.hpp).
+//                         Registered for the write-bearing mixes A/B — the
+//                         group-commit ablation (BENCH_ycsb_combining.json);
+//                         rows carry combined_{ops,batches}, whose ratio is
+//                         the realized amortization factor;
 //   MedleyStore-ro / ShardedMedleyStore-{1,4,8}-ro — identical stores
 //                         with StoreConfig::read_only_reads: get/scan run
 //                         as validation-only snapshot transactions (no
@@ -275,6 +284,15 @@ void emit_shard_counters(benchmark::State& state, const ShardedStore& store,
     agg_aborts += static_cast<double>(st.aborts());
     agg_retries += static_cast<double>(st.retries);
   }
+  // Group-commit observables (absolute since setup, summed over shards):
+  // combined_ops / combined_batches is the realized mean batch size — the
+  // amortization factor actually achieved, next to the throughput it buys.
+  if (store.combined_batches() > 0) {
+    state.counters["combined_batches"] =
+        static_cast<double>(store.combined_batches());
+    state.counters["combined_ops"] =
+        static_cast<double>(store.combined_ops());
+  }
   const auto cross = store.stats_cross();
   state.counters["aborts_cross"] = static_cast<double>(cross.aborts());
   state.counters["aborts_agg"] =
@@ -283,9 +301,14 @@ void emit_shard_counters(benchmark::State& state, const ShardedStore& store,
       agg_retries + static_cast<double>(cross.retries);
 }
 
-template <int kShards, bool kRO = false>
+template <int kShards, bool kRO = false, bool kComb = false>
 struct ShardedStoreAdapter {
   static const char* name() {
+    if constexpr (kComb) {
+      if constexpr (kShards == 1) return "ShardedMedleyStore-1-comb";
+      if constexpr (kShards == 4) return "ShardedMedleyStore-4-comb";
+      return "ShardedMedleyStore-8-comb";
+    }
     if constexpr (kShards == 1) {
       return kRO ? "ShardedMedleyStore-1-ro" : "ShardedMedleyStore-1";
     }
@@ -303,6 +326,7 @@ struct ShardedStoreAdapter {
   void setup(const YcsbScale& sc) {
     ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/true};
     cfg.read_only_reads = kRO;
+    cfg.combining.enabled = kComb;  // default knobs: 64 slots, batch<=32
     cfg.metrics = ycsb_metrics_on();
     store = std::make_unique<Sharded>(kShards, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
@@ -323,9 +347,13 @@ struct ShardedStoreAdapter {
   }
 };
 
-template <int kShards>
+template <int kShards, bool kComb = false>
 struct RangeShardedStoreAdapter {
   static const char* name() {
+    if constexpr (kComb) {
+      if constexpr (kShards == 4) return "RangeShardedMedleyStore-4-comb";
+      return "RangeShardedMedleyStore-8-comb";
+    }
     if constexpr (kShards == 4) return "RangeShardedMedleyStore-4";
     return "RangeShardedMedleyStore-8";
   }
@@ -345,6 +373,7 @@ struct RangeShardedStoreAdapter {
     const std::uint64_t step = std::max<std::uint64_t>(sc.records / 4096, 1);
     for (std::uint64_t k = 1; k <= sc.records; k += step) seed.push_back(k);
     ms::StoreConfig cfg{/*buckets=*/1u << 16, /*feed_enabled=*/true};
+    cfg.combining.enabled = kComb;  // default knobs: 64 slots, batch<=32
     cfg.metrics = ycsb_metrics_on();
     store = std::make_unique<RangeSharded>(kShards, seed, cfg);
     for (std::uint64_t k = 1; k <= sc.records; k++) store->put(k, k);
@@ -546,6 +575,15 @@ int main(int argc, char** argv) {
   register_ycsb<ShardedStoreAdapter<4, true>>("BC");
   register_ycsb<ShardedStoreAdapter<8, true>>("BC");
   register_ycsb<RawHashAdapter>("BC");
+  // Group-commit ablation (BENCH_ycsb_combining.json): flat-combining
+  // batch layer on vs eager one-tx-per-op twins above. A/B only — the
+  // combiner batches mutations, so read-dominated C gains nothing, and
+  // the 1-shard / 1-thread rows are the honest-cost floor (every batch
+  // is size 1: pure publication + lock overhead).
+  register_ycsb<ShardedStoreAdapter<1, false, true>>("AB");
+  register_ycsb<ShardedStoreAdapter<4, false, true>>("AB");
+  register_ycsb<ShardedStoreAdapter<8, false, true>>("AB");
+  register_ycsb<RangeShardedStoreAdapter<4, true>>("AB");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

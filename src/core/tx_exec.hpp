@@ -44,8 +44,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -321,6 +323,84 @@ struct TxResult<void> {
   explicit operator bool() const { return committed(); }
 };
 
+/// One-shot future for a submitted transaction (TxExecutor::submit and the
+/// stores' async_put/async_del). Deliberately lighter than std::future: no
+/// shared state allocation beyond the one std::function, no
+/// condition_variable — progress is made by the CALLER's thread driving
+/// `step_` (poll on ready(), drive-to-completion on get()), which is the
+/// right shape for combiner-backed completion where waiting threads help
+/// rather than sleep.
+///
+/// Single-consumer: poll and resolve from the thread that will consume the
+/// value. get() must be called OUTSIDE any open transaction (resolving may
+/// run or help run a transaction; nesting would corrupt the ambient one —
+/// the store's future steps throw std::logic_error on that misuse).
+/// A future abandoned without get() releases its resources on destruction
+/// via the step's owned state, but a combiner-backed future parks its
+/// publication slot until harvested — harvest what you submit.
+template <typename T>
+class TxFuture {
+ public:
+  TxFuture() = default;
+
+  /// `step(self, block)`: advance the computation; with block=true, do not
+  /// return until resolved. Returns true once `self` holds a value or an
+  /// error. The step must fill value_/err_ via set_value/set_error.
+  explicit TxFuture(std::function<bool(TxFuture&, bool)> step)
+      : step_(std::move(step)) {}
+
+  TxFuture(TxFuture&&) noexcept = default;
+  TxFuture& operator=(TxFuture&&) noexcept = default;
+  TxFuture(const TxFuture&) = delete;
+  TxFuture& operator=(const TxFuture&) = delete;
+
+  /// An already-resolved future (the eager-fallback path of async stores).
+  static TxFuture ready(T value) {
+    TxFuture f;
+    f.done_ = true;
+    f.value_.emplace(std::move(value));
+    return f;
+  }
+  static TxFuture error(std::exception_ptr err) {
+    TxFuture f;
+    f.done_ = true;
+    f.err_ = std::move(err);
+    return f;
+  }
+
+  bool valid() const { return done_ || static_cast<bool>(step_); }
+
+  /// Non-blocking: advance if possible, report whether get() would return
+  /// without waiting.
+  bool ready() {
+    if (!done_ && step_) done_ = step_(*this, /*block=*/false);
+    return done_;
+  }
+
+  /// Drive to completion (possibly executing or helping execute the
+  /// transaction on this thread), then return the value or rethrow the
+  /// transaction's error. Consumes the future.
+  T get() {
+    while (!done_) {
+      if (!step_) throw std::logic_error("TxFuture::get on empty future");
+      done_ = step_(*this, /*block=*/true);
+    }
+    step_ = nullptr;
+    if (err_) std::rethrow_exception(err_);
+    return std::move(*value_);
+  }
+
+  // Resolution interface for step functions.
+  void set_value(T v) { value_.emplace(std::move(v)); }
+  void set_error(std::exception_ptr e) { err_ = std::move(e); }
+
+ private:
+  std::function<bool(TxFuture&, bool)> step_;
+  std::optional<T> value_;
+  std::exception_ptr err_;
+  bool done_ = false;
+};
+
 /// The one transaction retry loop. Immutable and shareable across threads;
 /// per-call state lives on the stack and the calling thread's ThreadCtx.
 class TxExecutor {
@@ -449,6 +529,30 @@ class TxExecutor {
     if constexpr (!std::is_void_v<R>) res.value = std::move(full.value);
     note_resolved(sampled, t0, res.stats);
     return res;
+  }
+
+  /// Submit `body` for execution, returning a future for its TxResult so
+  /// the caller can pipeline. On a bare executor the future is LAZY: the
+  /// transaction runs on the first ready()/get() call, on the resolving
+  /// thread (there is no combiner here to run it concurrently — the stores'
+  /// async_put/async_del layer this same future over their FlatCombiner,
+  /// where a submitted op genuinely progresses while the caller works).
+  /// The executor and `mgr` must outlive the future; resolve it outside
+  /// any open transaction.
+  template <typename F>
+  auto submit(core::TxManager& mgr, F body)
+      -> TxFuture<TxResult<std::decay_t<std::invoke_result_t<F&>>>> {
+    using R = std::decay_t<std::invoke_result_t<F&>>;
+    using Fut = TxFuture<TxResult<R>>;
+    return Fut([this, &mgr, body = std::move(body)](Fut& self,
+                                                    bool) mutable {
+      try {
+        self.set_value(this->execute(mgr, body));
+      } catch (...) {
+        self.set_error(std::current_exception());
+      }
+      return true;
+    });
   }
 
  private:

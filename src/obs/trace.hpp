@@ -42,6 +42,9 @@ enum class TraceEvent : std::uint8_t {
   kROFallbackValidation,  // RO validation failed; falling back to full tx
   kArbitrationYield,  // CASObj met a higher-priority descriptor and yielded
   kLockContended,     // boostLock poll failed; arg = 1 on tx path, aux = spin
+  kCombineBatch,      // combiner executed a batch; aux = ops in the batch
+  kCombinerHandoff,   // waiter's op completed by another thread's batch;
+                      // aux = pacing rounds the waiter spent
 };
 
 inline const char* to_string(TraceEvent e) {
@@ -59,6 +62,8 @@ inline const char* to_string(TraceEvent e) {
     case TraceEvent::kROFallbackValidation: return "ro_fallback_validation";
     case TraceEvent::kArbitrationYield: return "arbitration_yield";
     case TraceEvent::kLockContended: return "lock_contended";
+    case TraceEvent::kCombineBatch: return "combine_batch";
+    case TraceEvent::kCombinerHandoff: return "combiner_handoff";
   }
   return "?";
 }

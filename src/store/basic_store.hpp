@@ -36,11 +36,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/combiner.hpp"
 #include "core/medley.hpp"
 #include "ds/ms_queue.hpp"
 #include "obs/metrics.hpp"
@@ -103,6 +106,23 @@ struct StoreConfig {
   /// transaction always flat-nests into it, whatever its mode.
   bool read_only_reads = false;
 
+  /// Flat-combining group commit (core/combiner.hpp): top-level put/del/
+  /// read_modify_write publish into per-store publication slots and a
+  /// lock-holding combiner executes batches of up to combining.max_batch
+  /// ops as ONE transaction — one descriptor, one commit CAS — so commit
+  /// traffic amortizes under a contended key head, and async_put/async_del
+  /// become available for submit-side pipelining. Default OFF: on an
+  /// uncontended store the publication handshake is pure overhead (the
+  /// honest-cost row in BENCH_ycsb_combining.json); turn it on for
+  /// write-contended workloads (YCSB-A-like) or hot shards. Validated at
+  /// construction: 0 slots / 0 max_batch throw; slots above
+  /// core::kMaxCombinerSlots and max_batch above min(slots,
+  /// core::kMaxCombinedBatch) clamp — config() reports effective values.
+  /// Reads and ambient (flat-nested) operations never route through the
+  /// combiner; cross-shard transactions of the sharded stores bypass it
+  /// the same way.
+  core::CombinerConfig combining;
+
   // ---- Observability (src/obs) -----------------------------------------
 
   /// Master switch for the metrics layer: per-op-type counters, per-op
@@ -158,6 +178,28 @@ inline StoreConfig validated(StoreConfig cfg) {
   }
   cfg.feed_drain_per_tx =
       std::min(cfg.feed_drain_per_tx, kMaxFeedDrainPerTx);
+  if (cfg.combining.enabled) {
+    if (cfg.combining.slots == 0) {
+      throw std::invalid_argument(
+          "StoreConfig::combining.slots must be > 0 when combining is "
+          "enabled (0 slots would make every mutation spin forever looking "
+          "for a publication slot; disable combining instead)");
+    }
+    if (cfg.combining.max_batch == 0) {
+      throw std::invalid_argument(
+          "StoreConfig::combining.max_batch must be > 0 when combining is "
+          "enabled (a 0-op batch would make the combiner a no-op and every "
+          "waiter wait forever)");
+    }
+    cfg.combining.slots =
+        std::min(cfg.combining.slots, core::kMaxCombinerSlots);
+    // A batch can never exceed the slot count, and core::kMaxCombinedBatch
+    // keeps a full batch's write entries clear of Desc::kWriteCap (the
+    // same deterministic-Capacity-abort spin the feed clamp prevents).
+    cfg.combining.max_batch = std::min(
+        {cfg.combining.max_batch, cfg.combining.slots,
+         core::kMaxCombinedBatch});
+  }
   return cfg;
 }
 
@@ -178,6 +220,11 @@ class BasicMedleyStore : public core::Composable {
         exec_(cfg.tx_policy),
         feed_(mgr) {
     init_observability();
+    if (cfg_.combining.enabled) {
+      combiner_ = std::make_unique<Combiner>(
+          cfg_.combining.slots, cfg_.combining.max_batch,
+          cfg_.combining.handoff, trace_ring_.get());
+    }
   }
 
   /// Operation types the store instruments (the `op` label of every
@@ -193,14 +240,15 @@ class BasicMedleyStore : public core::Composable {
     kOpScan,
     kOpPeekFeed,
     kOpPollFeed,
-    kOpCross,  // used by ShardedStoreBase for cross-shard transactions
+    kOpCross,    // used by ShardedStoreBase for cross-shard transactions
+    kOpCombine,  // one combined group-commit batch (N logical ops)
     kOpTypeCount
   };
 
   static const char* op_name(int op) {
     static constexpr const char* kNames[kOpTypeCount] = {
         "get",   "contains", "put",  "del",       "rmw",       "multi_put",
-        "range", "scan",     "peek_feed", "poll_feed", "cross"};
+        "range", "scan",     "peek_feed", "poll_feed", "cross", "combine"};
     return kNames[op];
   }
 
@@ -221,8 +269,14 @@ class BasicMedleyStore : public core::Composable {
     return res;
   }
 
-  /// Insert-or-replace; returns the previous value if any.
+  /// Insert-or-replace; returns the previous value if any. With combining
+  /// enabled, a top-level call publishes into the combiner and the batch
+  /// transaction commits it (same return value, same linearization
+  /// guarantees — the batch IS one transaction).
   std::optional<V> put(const K& k, const V& v) {
+    if (combiner_ && !mgr->in_tx()) {
+      return combined_mutate(kOpPut, CombReq{CombReq::kPut, k, v});
+    }
     std::optional<V> old;
     exec(kOpPut, [&] { old = put_in_tx(k, v); });
     return old;
@@ -230,6 +284,9 @@ class BasicMedleyStore : public core::Composable {
 
   /// Remove; returns the removed value if the key was present.
   std::optional<V> del(const K& k) {
+    if (combiner_ && !mgr->in_tx()) {
+      return combined_mutate(kOpDel, CombReq{CombReq::kDel, k});
+    }
     std::optional<V> old;
     exec(kOpDel, [&] { old = del_in_tx(k); });
     return old;
@@ -238,9 +295,22 @@ class BasicMedleyStore : public core::Composable {
   /// Atomic read-modify-write: `f(current) -> desired` where nullopt on
   /// either side means absent. Returns the value f chose (nullopt = the
   /// key is now absent). f may run several times (once per tx attempt)
-  /// and must be side-effect-free.
+  /// and must be side-effect-free; with combining enabled it may also run
+  /// on ANOTHER thread (the combiner executing the batch), though never
+  /// after this call returns. An exception out of f fails only this op —
+  /// the rest of the batch still commits — and is rethrown here.
   template <typename F>
   std::optional<V> read_modify_write(const K& k, F&& f) {
+    if (combiner_ && !mgr->in_tx()) {
+      CombReq req{CombReq::kRmw, k, V{}};
+      req.ctx = &f;
+      req.fn = [](const void* ctx, const std::optional<V>& cur) {
+        auto* fp = static_cast<std::remove_reference_t<F>*>(
+            const_cast<void*>(ctx));
+        return std::optional<V>((*fp)(cur));
+      };
+      return combined_mutate(kOpRmw, std::move(req));
+    }
     std::optional<V> desired;
     exec(kOpRmw, [&] {
       std::optional<V> cur = primary_->get(k);
@@ -252,6 +322,29 @@ class BasicMedleyStore : public core::Composable {
       }
     });
     return desired;
+  }
+
+  // ---- async submission (pipelining) -------------------------------------
+  // Publish a mutation now, harvest its result later: the returned future
+  // completes when some combiner's batch commits the op, so a caller can
+  // keep submitting (or doing unrelated work) instead of blocking per op.
+  // Discipline: resolve futures on the submitting thread, OUTSIDE any open
+  // transaction (the future helps execute batches; ready()/get() throw
+  // std::logic_error inside one), and harvest every future you submit — an
+  // abandoned combiner-backed future parks its publication slot until
+  // consumed. Without combining (or when no slot is free, or under an
+  // ambient transaction where batching would break flat-nesting) the op
+  // executes eagerly and the future comes back already resolved, so the
+  // API is always safe to call.
+
+  using AsyncResult = TxFuture<std::optional<V>>;
+
+  AsyncResult async_put(const K& k, const V& v) {
+    return async_mutate(kOpPut, CombReq{CombReq::kPut, k, v});
+  }
+
+  AsyncResult async_del(const K& k) {
+    return async_mutate(kOpDel, CombReq{CombReq::kDel, k});
   }
 
   /// All-or-nothing batch upsert (one transaction, one feed entry per
@@ -319,6 +412,17 @@ class BasicMedleyStore : public core::Composable {
 
   StoreStats::Snapshot stats() const { return stats_.aggregate(); }
   StoreStats::Snapshot stats_mine() const { return stats_.mine(); }
+
+  /// Group-commit batches executed / ops they carried (0 with combining
+  /// off). combined_ops() / combined_batches() is the achieved
+  /// amortization factor; the full distribution is the
+  /// medley_store_combined_batch histogram in dump_metrics().
+  std::uint64_t combined_batches() const {
+    return combiner_ ? combiner_->batches() : 0;
+  }
+  std::uint64_t combined_ops() const {
+    return combiner_ ? combiner_->combined_ops() : 0;
+  }
   std::uint64_t feed_depth() const { return stats_.feed_depth(); }
   const StoreConfig& config() const { return cfg_; }
   core::TxManager* manager() { return mgr; }
@@ -397,6 +501,171 @@ class BasicMedleyStore : public core::Composable {
     if (registry_) note_result(op, res);
     stats_.record(res.stats);
     rethrow_failed_non_user(res);
+  }
+
+  // ---- flat-combining glue (core/combiner.hpp) ---------------------------
+
+  /// A published mutation. rmw travels type-erased: `fn(ctx, current)`
+  /// computes the desired value; ctx points at the caller's callable,
+  /// which stays alive for the whole blocking submit (async submission is
+  /// put/del only, whose requests are self-contained).
+  struct CombReq {
+    enum Kind : std::uint8_t { kPut, kDel, kRmw };
+    Kind kind = kPut;
+    K key{};
+    V val{};
+    const void* ctx = nullptr;
+    std::optional<V> (*fn)(const void*, const std::optional<V>&) = nullptr;
+  };
+  using Combiner = core::FlatCombiner<CombReq, std::optional<V>>;
+  using CombSlot = typename Combiner::Slot;
+
+  /// Apply one published op inside the batch transaction. A user rmw
+  /// callback that throws fails only ITS op (op.err; the mutation is
+  /// skipped, the batch commits the rest) — but a TransactionAborted out
+  /// of it is the transaction's, not the user's, and propagates so the
+  /// attempt aborts and retries as a whole.
+  void apply_comb_op(typename Combiner::Op& op) {
+    op.err = nullptr;  // re-applied fresh on every transaction attempt
+    const CombReq& rq = op.req;
+    switch (rq.kind) {
+      case CombReq::kPut:
+        op.res = put_in_tx(rq.key, rq.val);
+        break;
+      case CombReq::kDel:
+        op.res = del_in_tx(rq.key);
+        break;
+      case CombReq::kRmw: {
+        std::optional<V> cur = primary_->get(rq.key);
+        std::optional<V> desired;
+        try {
+          desired = rq.fn(rq.ctx, cur);
+        } catch (const core::TransactionAborted&) {
+          throw;
+        } catch (...) {
+          op.err = std::current_exception();
+          op.res = std::nullopt;
+          return;
+        }
+        if (desired) {
+          put_in_tx(rq.key, *desired);
+        } else if (cur) {
+          del_in_tx(rq.key);
+        }
+        op.res = desired;
+        break;
+      }
+    }
+  }
+
+  /// The batch executor the combiner runs under its lock: one store
+  /// transaction applying every published op, billed so that N combined
+  /// ops read as exactly N logical ops — the batch records its abort/
+  /// retry stats here with the commit STRIPPED (op="combine" latency and
+  /// attempts histograms still see the batch), and each submitter bills
+  /// its own commit + op counter on successful completion. A batch that
+  /// cannot commit (bounded policy exhausted) throws, which the combiner
+  /// fans out to every waiter: all-or-nothing.
+  void run_batch(std::vector<CombSlot*>& batch) {
+    auto body = [&] {
+      for (CombSlot* s : batch) apply_comb_op(s->op);
+    };
+    auto res = instrumented_ ? op_exec_[kOpCombine].execute(*mgr, body)
+                             : exec_.execute(*mgr, body);
+    TxStats s = res.stats;
+    s.commits = 0;  // each waiter bills its own logical commit
+    stats_.record(s);
+    if (registry_) note_tx_stats(res.stats);
+    if (!res.committed()) {
+      throw core::TransactionAborted(
+          res.terminal.value_or(core::AbortReason::User));
+    }
+    if (combined_batch_hist_ != nullptr) {
+      combined_batch_hist_->record(batch.size());
+    }
+    if (combined_ops_counter_ != nullptr) {
+      combined_ops_counter_->inc(batch.size());
+    }
+  }
+
+  /// Submitter side of a combined synchronous mutation: publish, wait (or
+  /// combine), bill ONE logical op on success. Errors (batch abort, rmw
+  /// callback) propagate without billing a commit — matching exec()'s
+  /// contract that a non-committed op is never mistaken for a committed
+  /// one.
+  std::optional<V> combined_mutate(OpType op, CombReq req) {
+    auto fn = [this](std::vector<CombSlot*>& b) { run_batch(b); };
+    std::optional<V> out = combiner_->submit(std::move(req), fn);
+    TxStats s;
+    s.commits = 1;
+    stats_.record(s);
+    if (registry_) op_counters_[op]->inc();
+    return out;
+  }
+
+  /// Submitter side of async_put/async_del: publish without waiting and
+  /// return a future whose steps poll (help combining if the lock is
+  /// free) or wait, then consume + bill. Falls back to an eagerly
+  /// executed, already-resolved future when combining is off, the thread
+  /// is inside a transaction (batching would break flat-nesting), or no
+  /// publication slot is free (bounded pipeline depth, never deadlock).
+  AsyncResult async_mutate(OpType op, CombReq req) {
+    if (combiner_ && !mgr->in_tx()) {
+      if (CombSlot* slot = combiner_->try_publish(std::move(req))) {
+        return AsyncResult([this, op, slot](AsyncResult& self, bool block) {
+          if (mgr->in_tx()) {
+            throw std::logic_error(
+                "resolve store TxFutures outside any open transaction "
+                "(resolving helps execute combiner batches)");
+          }
+          auto fn = [this](std::vector<CombSlot*>& b) { run_batch(b); };
+          if (block) {
+            combiner_->wait(slot, fn);
+          } else if (!combiner_->done(slot)) {
+            combiner_->help(fn);
+            if (!combiner_->done(slot)) return false;
+          }
+          try {
+            self.set_value(combiner_->consume(slot));
+            TxStats s;
+            s.commits = 1;
+            stats_.record(s);
+            if (registry_) op_counters_[op]->inc();
+          } catch (...) {
+            self.set_error(std::current_exception());
+          }
+          return true;
+        });
+      }
+    }
+    try {
+      std::optional<V> out;
+      const OpType eager_op = op;
+      switch (req.kind) {
+        case CombReq::kPut:
+          exec(eager_op, [&] { out = put_in_tx(req.key, req.val); });
+          break;
+        case CombReq::kDel:
+          exec(eager_op, [&] { out = del_in_tx(req.key); });
+          break;
+        case CombReq::kRmw:
+          // Unreachable today (async surface is put/del); kept total so a
+          // future async_rmw cannot silently drop the op.
+          exec(eager_op, [&] {
+            std::optional<V> cur = primary_->get(req.key);
+            out = req.fn(req.ctx, cur);
+            if (out) {
+              put_in_tx(req.key, *out);
+            } else if (cur) {
+              del_in_tx(req.key);
+            }
+          });
+          break;
+      }
+      return AsyncResult::ready(std::move(out));
+    } catch (...) {
+      return AsyncResult::error(std::current_exception());
+    }
   }
 
   std::optional<V> put_in_tx(const K& k, const V& v) {
@@ -497,6 +766,15 @@ class BasicMedleyStore : public core::Composable {
     feed_drain_hist_ = &registry_->histogram(
         "medley_store_feed_drain", "Entries drained per poll_feed call",
         cfg_.metric_labels);
+    if (cfg_.combining.enabled) {
+      combined_batch_hist_ = &registry_->histogram(
+          "medley_store_combined_batch",
+          "Ops executed per combined group-commit batch", cfg_.metric_labels);
+      combined_ops_counter_ = &registry_->counter(
+          "medley_store_combined_ops_total",
+          "Store operations committed via combined group-commit batches",
+          cfg_.metric_labels);
+    }
     registry_->gauge_fn("medley_store_keys",
                         "Live keys (commit-exact insert minus remove)",
                         cfg_.metric_labels, [this] {
@@ -517,16 +795,21 @@ class BasicMedleyStore : public core::Composable {
   template <typename R>
   void note_result(OpType op, const TxResult<R>& res) {
     op_counters_[op]->inc();
-    const TxStats& s = res.stats;
+    note_tx_stats(res.stats);
+    if (res.ro_fallback) {
+      ro_fallback_counters_[*res.ro_fallback == ROFallback::kWrite ? 0 : 1]
+          ->inc();
+    }
+  }
+
+  /// The abort/retry slice of note_result, shared with the combined-batch
+  /// path (which bills the op counts submitter-side instead).
+  void note_tx_stats(const TxStats& s) {
     if (s.conflict_aborts) abort_counters_[0]->inc(s.conflict_aborts);
     if (s.validation_aborts) abort_counters_[1]->inc(s.validation_aborts);
     if (s.capacity_aborts) abort_counters_[2]->inc(s.capacity_aborts);
     if (s.user_aborts) abort_counters_[3]->inc(s.user_aborts);
     if (s.retries) retries_counter_->inc(s.retries);
-    if (res.ro_fallback) {
-      ro_fallback_counters_[*res.ro_fallback == ROFallback::kWrite ? 0 : 1]
-          ->inc();
-    }
   }
 
   Primary* primary_;
@@ -550,6 +833,12 @@ class BasicMedleyStore : public core::Composable {
   obs::Counter* retries_counter_ = nullptr;
   obs::Counter* ro_fallback_counters_[2] = {};  // write, validation
   obs::Histogram* feed_drain_hist_ = nullptr;
+  obs::Histogram* combined_batch_hist_ = nullptr;
+  obs::Counter* combined_ops_counter_ = nullptr;
+
+  /// The flat combiner (null unless cfg_.combining.enabled). Built after
+  /// init_observability so it can emit into the store's trace ring.
+  std::unique_ptr<Combiner> combiner_;
 
  public:
   /// Stamp feed entries from a shared sequencer instead of the store's own

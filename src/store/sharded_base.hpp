@@ -90,6 +90,21 @@ class ShardedStoreBase {
     return home(k).read_modify_write(k, std::forward<F>(f));
   }
 
+  // With StoreConfig::combining enabled every shard builds its own
+  // combiner (the shard config copy carries the knobs), so the point ops
+  // above group-commit per shard — batches never mix shards, and
+  // cross-shard transactions (multi_put, transact) bypass combining
+  // entirely: their inner shard ops flat-nest into the ambient domain
+  // transaction, which in_tx() detects. Async submission routes to the
+  // owning shard's combiner the same way.
+
+  typename Shard::AsyncResult async_put(const K& k, const V& v) {
+    return home(k).async_put(k, v);
+  }
+  typename Shard::AsyncResult async_del(const K& k) {
+    return home(k).async_del(k);
+  }
+
   // ---- cross-shard atomic operations -------------------------------------
 
   /// All-or-nothing batch upsert across any number of shards (one
@@ -258,6 +273,19 @@ class ShardedStoreBase {
 
   StoreStats::Snapshot stats_shard(std::size_t i) const {
     return shards_[i].store->stats();
+  }
+
+  /// Group-commit batches / combined ops summed over every shard's
+  /// combiner (0 with combining off).
+  std::uint64_t combined_batches() const {
+    std::uint64_t n = 0;
+    for (const Slot& s : shards_) n += s.store->combined_batches();
+    return n;
+  }
+  std::uint64_t combined_ops() const {
+    std::uint64_t n = 0;
+    for (const Slot& s : shards_) n += s.store->combined_ops();
+    return n;
   }
   StoreStats::Snapshot stats_cross() const {
     return cross_stats_.aggregate();
