@@ -159,7 +159,10 @@ class FlatCombiner {
   /// Publish without waiting; nullptr when no slot is free (every slot
   /// claimed by a concurrent publisher or parked under an unharvested
   /// future) — the caller falls back to eager execution. Never blocks.
-  Slot* try_publish(Req req) {
+  /// `req` is moved from ONLY on success: a nullptr return leaves the
+  /// caller's request untouched, so it can be retried or executed eagerly
+  /// (the store's slot-exhaustion fallback depends on this).
+  Slot* try_publish(Req&& req) {
     Slot* s = try_claim();
     if (s == nullptr) return nullptr;
     s->op.req = std::move(req);
@@ -231,7 +234,8 @@ class FlatCombiner {
 
   /// Publish with a blocking claim: scan from a tid-derived start; if every
   /// slot is taken, help drain (sync waiters free slots on return) and
-  /// rescan.
+  /// rescan. Safe to loop on try_publish: a failed attempt never moves
+  /// from `req`, so every retry publishes the original request.
   template <typename ExecBatch>
   Slot* publish(Req req, ExecBatch&& exec) {
     for (;;) {

@@ -335,9 +335,13 @@ struct TxResult<void> {
 /// value. get() must be called OUTSIDE any open transaction (resolving may
 /// run or help run a transaction; nesting would corrupt the ambient one —
 /// the store's future steps throw std::logic_error on that misuse).
-/// A future abandoned without get() releases its resources on destruction
-/// via the step's owned state, but a combiner-backed future parks its
-/// publication slot until harvested — harvest what you submit.
+/// A future abandoned without get() releases its resources on destruction:
+/// the step's owned state is dropped, and an issuer that holds external
+/// resources (a combiner publication slot) attaches an on_abandon hook
+/// that reclaims them — so dropping an unresolved future (e.g. during
+/// exception unwinding between submit and harvest) does not leak capacity.
+/// The hook runs on the destroying thread and may execute the pending
+/// work; see the issuing API for its caveats.
 template <typename T>
 class TxFuture {
  public:
@@ -346,11 +350,38 @@ class TxFuture {
   /// `step(self, block)`: advance the computation; with block=true, do not
   /// return until resolved. Returns true once `self` holds a value or an
   /// error. The step must fill value_/err_ via set_value/set_error.
-  explicit TxFuture(std::function<bool(TxFuture&, bool)> step)
-      : step_(std::move(step)) {}
+  /// `on_abandon`, when given, runs if the future is destroyed (or
+  /// move-assigned over) before it resolved — the issuer's chance to
+  /// reclaim resources the step would have consumed. Exceptions out of it
+  /// are swallowed (it runs on destruction paths).
+  explicit TxFuture(std::function<bool(TxFuture&, bool)> step,
+                    std::function<void()> on_abandon = nullptr)
+      : step_(std::move(step)), on_abandon_(std::move(on_abandon)) {}
 
-  TxFuture(TxFuture&&) noexcept = default;
-  TxFuture& operator=(TxFuture&&) noexcept = default;
+  ~TxFuture() { abandon(); }
+
+  TxFuture(TxFuture&& o) noexcept
+      : step_(std::move(o.step_)), on_abandon_(std::move(o.on_abandon_)),
+        value_(std::move(o.value_)), err_(std::move(o.err_)),
+        done_(o.done_) {
+    // A moved-from std::function is only "valid but unspecified": clear
+    // explicitly so the source can never re-run the abandon hook.
+    o.step_ = nullptr;
+    o.on_abandon_ = nullptr;
+  }
+  TxFuture& operator=(TxFuture&& o) noexcept {
+    if (this != &o) {
+      abandon();
+      step_ = std::move(o.step_);
+      on_abandon_ = std::move(o.on_abandon_);
+      value_ = std::move(o.value_);
+      err_ = std::move(o.err_);
+      done_ = o.done_;
+      o.step_ = nullptr;
+      o.on_abandon_ = nullptr;
+    }
+    return *this;
+  }
   TxFuture(const TxFuture&) = delete;
   TxFuture& operator=(const TxFuture&) = delete;
 
@@ -386,6 +417,7 @@ class TxFuture {
       done_ = step_(*this, /*block=*/true);
     }
     step_ = nullptr;
+    on_abandon_ = nullptr;
     if (err_) std::rethrow_exception(err_);
     return std::move(*value_);
   }
@@ -395,7 +427,21 @@ class TxFuture {
   void set_error(std::exception_ptr e) { err_ = std::move(e); }
 
  private:
+  /// Run the issuer's cleanup hook iff the future never resolved (a
+  /// resolved step already consumed its resources). Destruction-path
+  /// code: never throws.
+  void abandon() noexcept {
+    if (!done_ && on_abandon_) {
+      try {
+        on_abandon_();
+      } catch (...) {
+      }
+    }
+    on_abandon_ = nullptr;
+  }
+
   std::function<bool(TxFuture&, bool)> step_;
+  std::function<void()> on_abandon_;
   std::optional<T> value_;
   std::exception_ptr err_;
   bool done_ = false;

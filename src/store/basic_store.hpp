@@ -330,9 +330,20 @@ class BasicMedleyStore : public core::Composable {
   // keep submitting (or doing unrelated work) instead of blocking per op.
   // Discipline: resolve futures on the submitting thread, OUTSIDE any open
   // transaction (the future helps execute batches; ready()/get() throw
-  // std::logic_error inside one), and harvest every future you submit — an
-  // abandoned combiner-backed future parks its publication slot until
-  // consumed. Without combining (or when no slot is free, or under an
+  // std::logic_error inside one). Harvest every future you submit — a
+  // harvested result is the only way to SEE the op's outcome. A future
+  // dropped without get() still cleans up after itself: its destructor
+  // drives the published op to completion (helping combine if needed),
+  // bills it, and discards the result, returning the publication slot to
+  // the pool — so exception unwinding between submit and harvest does not
+  // degrade capacity. One caveat: a future destroyed INSIDE an open
+  // transaction cannot help combine (the batch would nest), so it only
+  // reclaims its slot if the op already executed; a still-pending op's
+  // slot stays parked — don't carry unharvested futures into a
+  // transaction. Lifetime: the future borrows this
+  // store and its TxManager — resolve or drop every future before either
+  // is destroyed (nothing enforces this; a future that outlives its store
+  // dangles). Without combining (or when no slot is free, or under an
   // ambient transaction where batching would break flat-nesting) the op
   // executes eagerly and the future comes back already resolved, so the
   // API is always safe to call.
@@ -611,31 +622,58 @@ class BasicMedleyStore : public core::Composable {
   /// publication slot is free (bounded pipeline depth, never deadlock).
   AsyncResult async_mutate(OpType op, CombReq req) {
     if (combiner_ && !mgr->in_tx()) {
+      // try_publish moves from req only on success: a nullptr return
+      // (slot exhaustion) leaves req intact for the eager fallback below.
       if (CombSlot* slot = combiner_->try_publish(std::move(req))) {
-        return AsyncResult([this, op, slot](AsyncResult& self, bool block) {
-          if (mgr->in_tx()) {
-            throw std::logic_error(
-                "resolve store TxFutures outside any open transaction "
-                "(resolving helps execute combiner batches)");
-          }
-          auto fn = [this](std::vector<CombSlot*>& b) { run_batch(b); };
-          if (block) {
-            combiner_->wait(slot, fn);
-          } else if (!combiner_->done(slot)) {
-            combiner_->help(fn);
-            if (!combiner_->done(slot)) return false;
-          }
-          try {
-            self.set_value(combiner_->consume(slot));
-            TxStats s;
-            s.commits = 1;
-            stats_.record(s);
-            if (registry_) op_counters_[op]->inc();
-          } catch (...) {
-            self.set_error(std::current_exception());
-          }
-          return true;
-        });
+        return AsyncResult(
+            [this, op, slot](AsyncResult& self, bool block) {
+              if (mgr->in_tx()) {
+                throw std::logic_error(
+                    "resolve store TxFutures outside any open transaction "
+                    "(resolving helps execute combiner batches)");
+              }
+              auto fn = [this](std::vector<CombSlot*>& b) { run_batch(b); };
+              if (block) {
+                combiner_->wait(slot, fn);
+              } else if (!combiner_->done(slot)) {
+                combiner_->help(fn);
+                if (!combiner_->done(slot)) return false;
+              }
+              try {
+                self.set_value(combiner_->consume(slot));
+                TxStats s;
+                s.commits = 1;
+                stats_.record(s);
+                if (registry_) op_counters_[op]->inc();
+              } catch (...) {
+                self.set_error(std::current_exception());
+              }
+              return true;
+            },
+            // Abandoned without get(): drive the published op over the
+            // line, bill it (it commits whether or not anyone looks), and
+            // discard the result so the slot returns to the pool. Inside
+            // an open transaction helping would nest the batch, so only
+            // an already-executed op's slot can be reclaimed there.
+            [this, op, slot] {
+              if (mgr->in_tx()) {
+                if (!combiner_->done(slot)) return;  // parked; documented
+              } else if (!combiner_->done(slot)) {
+                auto fn = [this](std::vector<CombSlot*>& b) {
+                  run_batch(b);
+                };
+                combiner_->wait(slot, fn);
+              }
+              try {
+                combiner_->consume(slot);
+                TxStats s;
+                s.commits = 1;
+                stats_.record(s);
+                if (registry_) op_counters_[op]->inc();
+              } catch (...) {
+                // Batch aborted: the op never committed, nothing to bill.
+              }
+            });
       }
     }
     try {

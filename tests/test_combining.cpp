@@ -611,6 +611,111 @@ TEST(Combining, FutureResolutionInsideTransactionThrows) {
   EXPECT_EQ(s.get(1), std::optional<std::uint64_t>(10));
 }
 
+// ---- moved-from-request regressions (string K/V) --------------------------
+// uint64_t K/V cannot catch a moved-from request (trivial types stay
+// bitwise-intact after std::move); std::string goes empty, so these tests
+// fail loudly if any publish/fallback path executes a request it already
+// moved from (try_publish's contract: moved from ONLY on success).
+
+using StrStore = MedleyStore<std::string, std::string>;
+
+TEST(Combining, StringKVSlotExhaustionExecutesCallersRequest) {
+  TxManager mgr;
+  StoreConfig cfg = comb_cfg(64);
+  cfg.combining.slots = 2;
+  StrStore s(&mgr, cfg);
+
+  auto f1 = s.async_put("alpha", "first");
+  auto f2 = s.async_put("beta", "second");
+  // Both slots parked: this submission takes the eager fallback, which
+  // must see the ORIGINAL request (a failed try_publish may not move it).
+  auto f3 = s.async_put("gamma", "third");
+  EXPECT_TRUE(f3.ready());
+  EXPECT_FALSE(f3.get().has_value());
+  EXPECT_EQ(s.get("gamma"), std::optional<std::string>("third"))
+      << "slot-exhausted fallback executed a moved-from request";
+  EXPECT_FALSE(s.get("").has_value())
+      << "a moved-from (empty) key was committed";
+
+  EXPECT_FALSE(f1.get().has_value());
+  EXPECT_FALSE(f2.get().has_value());
+  EXPECT_EQ(s.get("alpha"), std::optional<std::string>("first"));
+  EXPECT_EQ(s.get("beta"), std::optional<std::string>("second"));
+}
+
+TEST(Combining, StringKVPublishRetryPreservesRequests) {
+  TxManager mgr;
+  StoreConfig cfg = comb_cfg(128);
+  cfg.combining.slots = 1;  // every publish contends for the single slot
+  StrStore s(&mgr, cfg);
+  ASSERT_EQ(s.config().combining.max_batch, 1u);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+
+  h::run_seeded(kThreads, 31, [&](int t, medley::util::Xoshiro256& rng) {
+    (void)rng;
+    for (int i = 0; i < kOps; i++) {
+      const std::string k = "k" + std::to_string(t) + "_" + std::to_string(i);
+      if (i % 8 == 7) {
+        s.del(k);  // absent delete still routes through the combiner
+      } else {
+        s.put(k, "v" + std::to_string(t * kOps + i));
+      }
+    }
+  });
+
+  // Every request that retried publish() under slot contention must have
+  // arrived intact: each key maps to exactly its own value, and no empty
+  // (moved-from) key was ever committed.
+  EXPECT_FALSE(s.get("").has_value());
+  std::uint64_t live = 0;
+  for (int t = 0; t < kThreads; t++) {
+    for (int i = 0; i < kOps; i++) {
+      const std::string k = "k" + std::to_string(t) + "_" + std::to_string(i);
+      auto v = s.get(k);
+      if (i % 8 == 7) {
+        EXPECT_FALSE(v.has_value()) << k;
+      } else {
+        ASSERT_TRUE(v.has_value()) << k;
+        EXPECT_EQ(*v, "v" + std::to_string(t * kOps + i));
+        live++;
+      }
+    }
+  }
+  EXPECT_EQ(s.stats().key_count(), live);
+  EXPECT_EQ(s.combined_ops(), static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+TEST(Combining, AbandonedFutureReclaimsSlotAndBillsCommit) {
+  TxManager mgr;
+  StoreConfig cfg = comb_cfg(64);
+  cfg.combining.slots = 2;
+  StrStore s(&mgr, cfg);
+
+  {
+    auto f1 = s.async_put("a", "1");
+    auto f2 = s.async_put("b", "2");
+    // Dropped without get(): the destructors drive both ops to
+    // completion, bill them, and free the publication slots.
+  }
+  EXPECT_EQ(s.get("a"), std::optional<std::string>("1"))
+      << "an abandoned future's op must still commit";
+  EXPECT_EQ(s.get("b"), std::optional<std::string>("2"));
+  EXPECT_EQ(s.combined_ops(), 2u);
+  EXPECT_EQ(s.stats().commits, 4u) << "2 abandoned puts + 2 reads";
+
+  // Both slots are free again: the next pipelined pair publishes into the
+  // combiner (combined_ops keeps counting) instead of falling back eager.
+  auto f3 = s.async_put("c", "3");
+  auto f4 = s.async_put("d", "4");
+  EXPECT_EQ(f3.get(), std::nullopt);
+  EXPECT_EQ(f4.get(), std::nullopt);
+  EXPECT_EQ(s.combined_ops(), 4u)
+      << "slots parked by abandoned futures were not reclaimed";
+  EXPECT_EQ(s.get("c"), std::optional<std::string>("3"));
+  EXPECT_EQ(s.get("d"), std::optional<std::string>("4"));
+}
+
 // ---- sharded stores -------------------------------------------------------
 
 TEST(Combining, ShardedPointOpsCombinePerShardCrossShardBypasses) {
