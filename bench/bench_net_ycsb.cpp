@@ -1,0 +1,402 @@
+// End-to-end serving benchmark for the network subsystem (src/net):
+// YCSB-style mixes driven over real TCP connections against the epoll
+// server, measuring what the wave -> combiner pipeline buys.
+//
+// Two drivers, two JSON artifacts:
+//
+//  1. Closed loop (BENCH_net_ycsb.json): C connections each run a mix
+//     either one-request-per-round-trip ("sync") or in pipelined batches
+//     of 16 ("pipelined"), against a server whose store has combining on
+//     or off — the 2x2 ablation the wire design argues for. Pipelined +
+//     combining should win on any write-bearing mix once a few
+//     connections stack waves (fewer syscalls AND one commit CAS per
+//     wave); the single-connection sync rows are the honest overhead
+//     floor (the wire costs two syscalls per op and the publication
+//     handshake buys nothing at depth 1).
+//
+//  2. Open loop (BENCH_net_tail.json): Poisson arrivals at fixed offered
+//     loads, one pacing sender + one receiver, latency measured from the
+//     SCHEDULED arrival (queueing delay included — the honest open-loop
+//     accounting), reported as p50/p99/p999.
+//
+// This is a standalone driver (no google-benchmark macros): the unit of
+// measurement is a whole client/server episode, not a function call.
+//
+// Scale: MEDLEY_NET_SMOKE=1 trims op counts for CI; the recorded JSONs
+// come from the default scale. MEDLEY_METRICS_OUT=<path> additionally
+// scrapes the server's METRICS verb over the wire at the end and writes
+// the Prometheus text there (tools/check_metrics.py validates it in CI).
+// This box exposes ONE hardware thread, so absolute numbers are modest
+// and client threads time-share with the server; the relative ordering
+// (pipelined vs sync at equal connections) is the result.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "store/store.hpp"
+#include "util/rng.hpp"
+
+using medley::TxManager;
+using medley::store::MedleyStore;
+using medley::store::StoreConfig;
+namespace net = medley::net;
+using Clock = std::chrono::steady_clock;
+using Store = MedleyStore<std::uint64_t, std::uint64_t>;
+
+namespace {
+
+bool smoke() {
+  const char* s = std::getenv("MEDLEY_NET_SMOKE");
+  return s != nullptr && s[0] == '1';
+}
+
+constexpr std::uint64_t kKeyspace = 16384;
+constexpr std::size_t kPipelineBatch = 16;
+
+struct Mix {
+  const char* name;
+  int read_pct;  // reads per 100 ops; the rest are updates (PUT)
+};
+const Mix kMixes[] = {{"A", 50}, {"C", 100}};
+
+/// One server episode: fresh store (preloaded), fresh server.
+struct Episode {
+  TxManager mgr;
+  std::unique_ptr<Store> store;
+  std::unique_ptr<net::StoreAdapter<Store>> adapter;
+  std::unique_ptr<net::Server> server;
+  std::shared_ptr<medley::obs::MetricsRegistry> registry;
+  std::uint64_t base_combined_ops = 0;
+  std::uint64_t base_combined_batches = 0;
+
+  explicit Episode(bool combining, bool metrics = false) {
+    StoreConfig cfg;
+    cfg.buckets = 1u << 12;
+    cfg.combining.enabled = combining;
+    if (metrics) {
+      cfg.metrics = true;
+      registry = std::make_shared<medley::obs::MetricsRegistry>();
+      cfg.metrics_registry = registry;
+    }
+    store = std::make_unique<Store>(&mgr, cfg);
+    for (std::uint64_t k = 0; k < kKeyspace; k += 2) store->put(k, k);
+    // Preload goes through the combiner too (one-op batches); baseline it
+    // out so the rows report only the measured traffic's combining.
+    base_combined_ops = store->combined_ops();
+    base_combined_batches = store->combined_batches();
+    net::NetConfig ncfg;
+    ncfg.workers = 1;
+    ncfg.registry = registry;
+    server = std::make_unique<net::Server>(adapter_init(), ncfg);
+    server->start();
+  }
+  net::StoreApi* adapter_init() {
+    adapter = std::make_unique<net::StoreAdapter<Store>>(store.get());
+    return adapter.get();
+  }
+  ~Episode() { server->stop(); }
+};
+
+// ---- closed loop -----------------------------------------------------------
+
+struct ClosedRow {
+  const char* mix;
+  const char* mode;
+  bool combining;
+  int connections;
+  std::uint64_t ops;
+  double seconds;
+  double ops_per_sec;
+  std::uint64_t combined_ops;
+  std::uint64_t combined_batches;
+};
+
+ClosedRow run_closed(const Mix& mix, bool pipelined, bool combining,
+                     int connections, std::uint64_t total_ops) {
+  Episode ep(combining);
+  const std::uint64_t per_conn = total_ops / connections;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < connections; t++) {
+    threads.emplace_back([&, t] {
+      net::Client c("127.0.0.1", ep.server->port());
+      medley::util::Xoshiro256 rng(0xC0FFEE ^ (t * 7919));
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      if (pipelined) {
+        std::vector<net::Request> batch;
+        for (std::uint64_t done = 0; done < per_conn;
+             done += kPipelineBatch) {
+          batch.clear();
+          for (std::size_t i = 0; i < kPipelineBatch; i++) {
+            const std::uint64_t k = rng.next_bounded(kKeyspace);
+            if (rng.next_bounded(100) <
+                static_cast<std::uint64_t>(mix.read_pct)) {
+              batch.push_back(c.make(net::Verb::kGet, k));
+            } else {
+              batch.push_back(c.make(net::Verb::kPut, k, rng.next()));
+            }
+          }
+          c.send_batch(batch);
+        }
+      } else {
+        for (std::uint64_t i = 0; i < per_conn; i++) {
+          const std::uint64_t k = rng.next_bounded(kKeyspace);
+          if (rng.next_bounded(100) <
+              static_cast<std::uint64_t>(mix.read_pct)) {
+            c.get(k);
+          } else {
+            c.put(k, rng.next());
+          }
+        }
+      }
+    });
+  }
+  while (ready.load() < connections) std::this_thread::yield();
+  const auto t0 = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::uint64_t ops = per_conn * connections;
+  return ClosedRow{mix.name,
+                   pipelined ? "pipelined" : "sync",
+                   combining,
+                   connections,
+                   ops,
+                   secs,
+                   static_cast<double>(ops) / secs,
+                   ep.store->combined_ops() - ep.base_combined_ops,
+                   ep.store->combined_batches() - ep.base_combined_batches};
+}
+
+// ---- open loop -------------------------------------------------------------
+
+struct TailRow {
+  const char* mix;
+  double offered_rps;
+  double achieved_rps;
+  std::uint64_t sent;
+  double p50_us, p99_us, p999_us;
+};
+
+double pct(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  const std::size_t i =
+      std::min(v.size() - 1, static_cast<std::size_t>(q * v.size()));
+  return v[i];
+}
+
+/// Poisson arrivals at `rps` for `seconds`: the sender writes each
+/// request at its scheduled instant (one writev each — open loop, no
+/// batching by the driver; waves still form when the server falls
+/// behind, which is exactly the combining-under-load story). A receiver
+/// thread stamps completions; latency = completion - SCHEDULED arrival.
+TailRow run_tail(const Mix& mix, double rps, double seconds) {
+  Episode ep(/*combining=*/true);
+  net::Client c("127.0.0.1", ep.server->port());
+
+  // Pre-generate the arrival schedule (exponential gaps).
+  medley::util::Xoshiro256 rng(0xAB5EED);
+  std::vector<double> sched;  // seconds from t0
+  double t = 0;
+  while (t < seconds) {
+    sched.push_back(t);
+    const double u =
+        (static_cast<double>(rng.next() >> 11) + 1) / 9007199254740993.0;
+    t += -std::log(u) / rps;
+  }
+  const std::size_t n = sched.size();
+
+  std::vector<double> done_at(n, -1);
+  std::thread receiver([&] {
+    // Responses arrive in request order on the single connection.
+    net::FrameBuffer fb;
+    const auto t0 = Clock::now();
+    std::size_t got = 0;
+    std::uint8_t buf[16384];
+    while (got < n) {
+      const ssize_t r = ::read(c.fd(), buf, sizeof(buf));
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) continue;
+        break;
+      }
+      fb.append(buf, static_cast<std::size_t>(r));
+      bool oversize = false;
+      while (auto f = fb.next(net::kDefaultMaxFrame, &oversize)) {
+        done_at[got++] =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+      }
+      if (fb.buffered() == 0) fb.compact();
+    }
+  });
+
+  std::vector<std::uint8_t> frame;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < n; i++) {
+    const auto due =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(sched[i]));
+    std::this_thread::sleep_until(due);
+    frame.clear();
+    net::Request rq;
+    rq.id = static_cast<std::uint32_t>(i);
+    const std::uint64_t k = rng.next_bounded(kKeyspace);
+    if (rng.next_bounded(100) < static_cast<std::uint64_t>(mix.read_pct)) {
+      rq.verb = net::Verb::kGet;
+      rq.a = k;
+    } else {
+      rq.verb = net::Verb::kPut;
+      rq.a = k;
+      rq.b = i;
+    }
+    net::encode_request(frame, rq);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t w = ::write(c.fd(), frame.data() + off,
+                                frame.size() - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+  receiver.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> lat;
+  lat.reserve(n);
+  for (std::size_t i = 0; i < n; i++) {
+    if (done_at[i] >= 0) lat.push_back((done_at[i] - sched[i]) * 1e6);
+  }
+  std::sort(lat.begin(), lat.end());
+  return TailRow{mix.name,
+                 rps,
+                 static_cast<double>(lat.size()) / wall,
+                 n,
+                 pct(lat, 0.50),
+                 pct(lat, 0.99),
+                 pct(lat, 0.999)};
+}
+
+// ---- output ----------------------------------------------------------------
+
+void write_closed(const std::vector<ClosedRow>& rows) {
+  std::ofstream out("BENCH_net_ycsb.json");
+  out << "{\n  \"bench\": \"net_ycsb_closed_loop\",\n"
+      << "  \"note\": \"C connections over TCP vs one epoll worker on a "
+         "1-core box; pipelined = batches of "
+      << kPipelineBatch
+      << " via send_batch (one writev per batch); combining = "
+         "flat-combining group commit in the store\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); i++) {
+    const ClosedRow& r = rows[i];
+    out << "    {\"mix\": \"" << r.mix << "\", \"mode\": \"" << r.mode
+        << "\", \"combining\": " << (r.combining ? "true" : "false")
+        << ", \"connections\": " << r.connections << ", \"ops\": " << r.ops
+        << ", \"seconds\": " << r.seconds
+        << ", \"ops_per_sec\": " << r.ops_per_sec
+        << ", \"combined_ops\": " << r.combined_ops
+        << ", \"combined_batches\": " << r.combined_batches << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+void write_tail(const std::vector<TailRow>& rows) {
+  std::ofstream out("BENCH_net_tail.json");
+  out << "{\n  \"bench\": \"net_open_loop_tail\",\n"
+      << "  \"note\": \"Poisson arrivals, one connection, latency from "
+         "scheduled arrival (queueing included), microseconds\",\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); i++) {
+    const TailRow& r = rows[i];
+    out << "    {\"mix\": \"" << r.mix
+        << "\", \"offered_rps\": " << r.offered_rps
+        << ", \"achieved_rps\": " << r.achieved_rps
+        << ", \"requests\": " << r.sent << ", \"p50_us\": " << r.p50_us
+        << ", \"p99_us\": " << r.p99_us << ", \"p999_us\": " << r.p999_us
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+void maybe_dump_metrics() {
+  const char* path = std::getenv("MEDLEY_METRICS_OUT");
+  if (path == nullptr) return;
+  // A short metrics-on episode: real traffic, then one METRICS scrape
+  // THROUGH THE WIRE, dumped for tools/check_metrics.py.
+  Episode ep(/*combining=*/true, /*metrics=*/true);
+  net::Client c("127.0.0.1", ep.server->port());
+  std::vector<net::Request> batch;
+  for (std::uint64_t k = 0; k < 32; k++) {
+    batch.push_back(c.make(net::Verb::kPut, k, k));
+  }
+  c.send_batch(batch);
+  for (std::uint64_t k = 0; k < 32; k += 3) c.get(k);
+  c.del(1);
+  c.rmw_add(2, 5);
+  const std::string text = c.metrics();
+  std::ofstream(path) << text;
+  std::printf("METRICS scrape (%zu bytes) -> %s\n", text.size(), path);
+}
+
+}  // namespace
+
+int main() {
+  const bool sm = smoke();
+  const std::uint64_t closed_ops = sm ? 2'000 : 24'000;
+  const double tail_secs = sm ? 0.5 : 3.0;
+  const std::vector<double> loads = sm ? std::vector<double>{500, 1500}
+                                       : std::vector<double>{2000, 6000};
+
+  std::vector<ClosedRow> closed;
+  for (const Mix& mix : kMixes) {
+    for (int conns : {1, 2, 4}) {
+      for (bool pipelined : {false, true}) {
+        for (bool combining : {false, true}) {
+          ClosedRow r =
+              run_closed(mix, pipelined, combining, conns, closed_ops);
+          std::printf(
+              "closed mix:%s %9s comb:%d conns:%d  %8.0f ops/s  "
+              "(%llu combined in %llu batches)\n",
+              r.mix, r.mode, static_cast<int>(r.combining), r.connections,
+              r.ops_per_sec,
+              static_cast<unsigned long long>(r.combined_ops),
+              static_cast<unsigned long long>(r.combined_batches));
+          closed.push_back(r);
+        }
+      }
+    }
+  }
+  write_closed(closed);
+
+  std::vector<TailRow> tail;
+  for (double rps : loads) {
+    TailRow r = run_tail(kMixes[0], rps, tail_secs);  // A: write-bearing
+    std::printf(
+        "tail   mix:%s offered:%6.0f/s achieved:%6.0f/s  p50:%7.1fus "
+        "p99:%8.1fus p999:%8.1fus\n",
+        r.mix, r.offered_rps, r.achieved_rps, r.p50_us, r.p99_us,
+        r.p999_us);
+    tail.push_back(r);
+  }
+  write_tail(tail);
+
+  maybe_dump_metrics();
+  std::printf("wrote BENCH_net_ycsb.json, BENCH_net_tail.json\n");
+  return 0;
+}

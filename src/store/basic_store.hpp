@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -434,6 +435,22 @@ class BasicMedleyStore : public core::Composable {
   std::uint64_t combined_ops() const {
     return combiner_ ? combiner_->combined_ops() : 0;
   }
+
+  /// Publication slots permanently parked by a TxFuture destroyed INSIDE
+  /// an open transaction while its op was still pending (the async-API
+  /// caveat documented above async_put). Each leak costs one slot of
+  /// combiner capacity for the store's lifetime, and its op — which any
+  /// later combiner drain will still execute and commit — is never billed
+  /// by a submitter, so commits may undercount feed entries by the leaked
+  /// amount. There is no online recovery (nothing can safely free a slot
+  /// that a batch may be executing); the counter (+ debug-build assert at
+  /// the leak site, + the medley_store_combiner_slots_leaked_total metric)
+  /// exists so harvest loops like the network server's can prove they
+  /// never do this, and so an operator seeing nonzero knows to fix the
+  /// caller and recycle the store.
+  std::uint64_t combiner_slots_leaked() const {
+    return slots_leaked_.load(std::memory_order_relaxed);
+  }
   std::uint64_t feed_depth() const { return stats_.feed_depth(); }
   const StoreConfig& config() const { return cfg_; }
   core::TxManager* manager() { return mgr; }
@@ -657,7 +674,10 @@ class BasicMedleyStore : public core::Composable {
             // an already-executed op's slot can be reclaimed there.
             [this, op, slot] {
               if (mgr->in_tx()) {
-                if (!combiner_->done(slot)) return;  // parked; documented
+                if (!combiner_->done(slot)) {
+                  note_slot_leak();  // parked forever; see the accessor
+                  return;
+                }
               } else if (!combiner_->done(slot)) {
                 auto fn = [this](std::vector<CombSlot*>& b) {
                   run_batch(b);
@@ -704,6 +724,18 @@ class BasicMedleyStore : public core::Composable {
     } catch (...) {
       return AsyncResult::error(std::current_exception());
     }
+  }
+
+  /// Account one leaked publication slot (TxFuture abandoned inside an
+  /// open transaction with its op still pending). The assert makes the
+  /// misuse loud in Debug builds; Release/RelWithDebInfo deployments get
+  /// the counter + metric instead of a crash.
+  void note_slot_leak() {
+    slots_leaked_.fetch_add(1, std::memory_order_relaxed);
+    if (slots_leaked_counter_ != nullptr) slots_leaked_counter_->inc();
+    assert(!"TxFuture abandoned inside an open transaction: combiner "
+            "publication slot leaked (harvest futures before entering a "
+            "transaction)");
   }
 
   std::optional<V> put_in_tx(const K& k, const V& v) {
@@ -812,6 +844,11 @@ class BasicMedleyStore : public core::Composable {
           "medley_store_combined_ops_total",
           "Store operations committed via combined group-commit batches",
           cfg_.metric_labels);
+      slots_leaked_counter_ = &registry_->counter(
+          "medley_store_combiner_slots_leaked_total",
+          "Combiner publication slots permanently parked by futures "
+          "abandoned inside an open transaction",
+          cfg_.metric_labels);
     }
     registry_->gauge_fn("medley_store_keys",
                         "Live keys (commit-exact insert minus remove)",
@@ -873,6 +910,11 @@ class BasicMedleyStore : public core::Composable {
   obs::Histogram* feed_drain_hist_ = nullptr;
   obs::Histogram* combined_batch_hist_ = nullptr;
   obs::Counter* combined_ops_counter_ = nullptr;
+  obs::Counter* slots_leaked_counter_ = nullptr;
+  /// Slots parked forever by futures abandoned inside an open transaction
+  /// (see combiner_slots_leaked()). Kept outside the registry so the leak
+  /// is countable even with metrics off.
+  std::atomic<std::uint64_t> slots_leaked_{0};
 
   /// The flat combiner (null unless cfg_.combining.enabled). Built after
   /// init_observability so it can emit into the store's trace ring.

@@ -287,6 +287,13 @@ class ShardedStoreBase {
     for (const Slot& s : shards_) n += s.store->combined_ops();
     return n;
   }
+  /// Combiner publication slots permanently parked by futures abandoned
+  /// inside an open transaction, summed over every shard.
+  std::uint64_t combiner_slots_leaked() const {
+    std::uint64_t n = 0;
+    for (const Slot& s : shards_) n += s.store->combiner_slots_leaked();
+    return n;
+  }
   StoreStats::Snapshot stats_cross() const {
     return cross_stats_.aggregate();
   }

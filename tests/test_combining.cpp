@@ -611,6 +611,40 @@ TEST(Combining, FutureResolutionInsideTransactionThrows) {
   EXPECT_EQ(s.get(1), std::optional<std::uint64_t>(10));
 }
 
+TEST(Combining, AbandonInsideTransactionLeaksSlotButIsCounted) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "the misuse trips a debug assert by design; the "
+                  "counter path is Release-only";
+#else
+  TxManager mgr;
+  Store s(&mgr, comb_cfg(64));
+  EXPECT_EQ(s.combiner_slots_leaked(), 0u);
+  {
+    auto fut = s.async_put(1, 10);  // publishes a slot (outside any tx)
+    mgr.txBegin();
+    // Destroying the future inside the open transaction cannot help the
+    // combiner (helping would nest the batch transaction), so its still-
+    // pending slot is parked forever — the leak this counter surfaces.
+    { auto doomed = std::move(fut); }
+    EXPECT_EQ(s.combiner_slots_leaked(), 1u);
+    try {
+      mgr.txAbort();
+    } catch (const TransactionAborted&) {
+    }
+  }
+  // The OP is not lost — the next combine pass drains every published
+  // slot, parked ones included — only the slot's reusability is. Its
+  // commit goes unbilled (nobody consumes the result), which is why the
+  // recovery story is "restart the store", not an online reclaim.
+  auto f2 = s.async_put(2, 20);
+  EXPECT_FALSE(f2.get().has_value());
+  EXPECT_EQ(s.get(1), std::optional<std::uint64_t>(10))
+      << "a later combine should still execute the parked op";
+  EXPECT_EQ(s.get(2), std::optional<std::uint64_t>(20));
+  EXPECT_EQ(s.combiner_slots_leaked(), 1u) << "counted once, not per pass";
+#endif
+}
+
 // ---- moved-from-request regressions (string K/V) --------------------------
 // uint64_t K/V cannot catch a moved-from request (trivial types stay
 // bitwise-intact after std::move); std::string goes empty, so these tests

@@ -25,6 +25,16 @@ REQUIRED_FAMILIES = [
     "medley_store_feed_depth",
 ]
 
+# When the scrape came through the network layer (any medley_net_* family
+# present), the full net family set must be there too — a partial set
+# means Server::init_metrics() registration drifted from the contract.
+NET_FAMILIES = [
+    "medley_net_connections",
+    "medley_net_requests_total",
+    "medley_net_errors_total",
+    "medley_net_batch_size",
+]
+
 NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
 HELP_RE = re.compile(rf"^# HELP ({NAME_RE}) .*$")
 TYPE_RE = re.compile(rf"^# TYPE ({NAME_RE}) (counter|gauge|summary|histogram|untyped)$")
@@ -96,7 +106,10 @@ def validate(text):
             continue
         samples.append((family, name, labels, lineno))
 
-    for fam in REQUIRED_FAMILIES:
+    required = list(REQUIRED_FAMILIES)
+    if any(fam.startswith("medley_net_") for fam in types):
+        required += NET_FAMILIES
+    for fam in required:
         if fam not in types:
             errors.append(f"required family missing: {fam}")
         elif not any(s[0] == fam for s in samples):
